@@ -1,0 +1,57 @@
+"""Figure 5: execution time of generated code, CHEHAB RL vs Coyote.
+
+The paper reports a 5.3× geometric-mean speedup of CHEHAB RL over Coyote.
+The benchmark regenerates the per-kernel execution-time series on the
+simulated BFV backend and asserts the reproduction's shape: CHEHAB RL is
+faster on the overwhelming majority of kernels and wins the geometric mean
+by a clear factor.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import execute
+from repro.experiments import make_agent_compiler
+from repro.baselines import CoyoteCompiler
+from repro.kernels import benchmark_by_name
+
+
+def _report(comparison) -> None:
+    print("\nFig. 5 — execution time (ms) per benchmark")
+    chehab = comparison.execution_time_series["CHEHAB RL"]
+    coyote = comparison.execution_time_series["Coyote"]
+    for name in sorted(chehab):
+        print(f"  {name:28s} CHEHAB RL {chehab[name]:9.1f}   Coyote {coyote.get(name, float('nan')):9.1f}")
+    print(f"  geometric-mean speedup (Coyote / CHEHAB RL): {comparison.execution_speedup:.2f}x")
+
+
+def test_fig5_execution_time_series(benchmark, main_comparison):
+    """Regenerate the Fig. 5 series and check the headline shape."""
+    benchmark.pedantic(lambda: main_comparison, rounds=1, iterations=1)
+    _report(main_comparison)
+    assert main_comparison.all_correct
+    # Shape: CHEHAB RL wins the geometric mean by a clear margin (paper: 5.3x).
+    assert main_comparison.execution_speedup > 1.5
+    chehab = main_comparison.execution_time_series["CHEHAB RL"]
+    coyote = main_comparison.execution_time_series["Coyote"]
+    wins = sum(1 for name in chehab if chehab[name] < coyote[name])
+    assert wins >= 0.7 * len(chehab)
+
+
+def test_fig5_execution_dot_product_16_chehab(benchmark, trained_agent):
+    """Simulated execution latency of the CHEHAB RL circuit for Dot Product 16."""
+    bench = benchmark_by_name("dot_product_16")
+    report = make_agent_compiler(trained_agent).compile_expression(
+        bench.expression(), name=bench.name
+    )
+    inputs = bench.sample_inputs(0)
+    result = benchmark(lambda: execute(report.circuit, inputs))
+    assert result.outputs["result"] == bench.reference(inputs)
+
+
+def test_fig5_execution_dot_product_16_coyote(benchmark):
+    """Simulated execution latency of the Coyote circuit for Dot Product 16."""
+    bench = benchmark_by_name("dot_product_16")
+    report = CoyoteCompiler().compile_expression(bench.expression(), name=bench.name)
+    inputs = bench.sample_inputs(0)
+    result = benchmark(lambda: execute(report.circuit, inputs))
+    assert result.outputs["result"] == bench.reference(inputs)

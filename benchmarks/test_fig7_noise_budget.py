@@ -1,0 +1,56 @@
+"""Figure 7: consumed noise budget, CHEHAB RL vs Coyote.
+
+The paper reports that CHEHAB RL's circuits consume 2.54× less noise budget
+(geometric mean) and that Coyote exhausts the entire budget on Sort-4 and
+two polynomial-tree benchmarks.  The regenerated series checks the same
+shape: lower consumption for CHEHAB RL on essentially every kernel and a
+clear geometric-mean factor.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import execute
+from repro.experiments import make_agent_compiler
+from repro.baselines import CoyoteCompiler
+from repro.kernels import benchmark_by_name
+
+
+def _report(comparison) -> None:
+    print("\nFig. 7 — consumed noise budget (bits) per benchmark")
+    chehab = comparison.noise_series["CHEHAB RL"]
+    coyote = comparison.noise_series["Coyote"]
+    for name in sorted(chehab):
+        print(f"  {name:28s} CHEHAB RL {chehab[name]:7.1f}   Coyote {coyote.get(name, float('nan')):7.1f}")
+    print(f"  geometric-mean factor (Coyote / CHEHAB RL): {comparison.noise_reduction:.2f}x")
+
+
+def test_fig7_noise_budget_series(benchmark, main_comparison):
+    """Regenerate the Fig. 7 series and check the headline shape."""
+    benchmark.pedantic(lambda: main_comparison, rounds=1, iterations=1)
+    _report(main_comparison)
+    # Shape: CHEHAB RL consumes less noise in the geometric mean (paper: 2.54x).
+    assert main_comparison.noise_reduction > 1.3
+    chehab = main_comparison.noise_series["CHEHAB RL"]
+    coyote = main_comparison.noise_series["Coyote"]
+    wins = sum(1 for name in chehab if chehab[name] <= coyote[name])
+    assert wins >= 0.7 * len(chehab)
+
+
+def test_fig7_noise_sort3_chehab_rl(benchmark, trained_agent):
+    """Noise consumption of the CHEHAB RL circuit for Sort 3."""
+    bench = benchmark_by_name("sort_3")
+    report = make_agent_compiler(trained_agent).compile_expression(
+        bench.expression(), name=bench.name
+    )
+    inputs = bench.sample_inputs(0)
+    execution = benchmark(lambda: execute(report.circuit, inputs))
+    assert execution.consumed_noise_budget > 0
+
+
+def test_fig7_noise_sort3_coyote(benchmark):
+    """Noise consumption of the Coyote circuit for Sort 3."""
+    bench = benchmark_by_name("sort_3")
+    report = CoyoteCompiler().compile_expression(bench.expression(), name=bench.name)
+    inputs = bench.sample_inputs(0)
+    execution = benchmark(lambda: execute(report.circuit, inputs))
+    assert execution.consumed_noise_budget > 0

@@ -1,0 +1,30 @@
+"""Figure 9: step-only vs step+terminal reward.
+
+The paper reports that adding the terminal reward yields 1.291× better
+execution time (geometric mean) than the step-only reward.  The benchmark
+trains both variants briefly and regenerates the per-kernel series; the
+asserted shape is that the combined reward is not worse.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_reward_term_ablation
+from repro.kernels import benchmark_by_name
+
+_BENCH_NAMES = ("dot_product_8", "l2_distance_8", "linear_regression_8", "gx_3x3")
+
+
+def test_fig9_step_vs_terminal_reward(benchmark):
+    benchmarks = [benchmark_by_name(name) for name in _BENCH_NAMES]
+    outcome = benchmark.pedantic(
+        lambda: run_reward_term_ablation(benchmarks=benchmarks, train_timesteps=256),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFig. 9 — execution time (ms): step-only vs step+terminal reward")
+    combined = outcome.execution_time_series["step+terminal"]
+    step_only = outcome.execution_time_series["step-only"]
+    for name in sorted(combined):
+        print(f"  {name:24s} step+terminal {combined[name]:9.1f}   step-only {step_only[name]:9.1f}")
+    print(f"  geometric-mean factor (step-only / step+terminal): {outcome.improvement_from_terminal:.3f}x")
+    assert outcome.improvement_from_terminal >= 0.99

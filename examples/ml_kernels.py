@@ -1,0 +1,50 @@
+"""Privacy-preserving ML building blocks: dot product, distances, regression.
+
+These kernels (from the Porcupine suite) are the building blocks of
+encrypted ML inference.  The example compiles each with the CHEHAB pipeline,
+shows the rotate-and-reduce circuits the term rewriting system discovers,
+and verifies the decrypted results.
+
+Run with:  python examples/ml_kernels.py
+"""
+
+from repro.compiler import Compiler, CompilerOptions, execute, reference_output
+from repro.kernels.porcupine import (
+    dot_product,
+    hamming_distance,
+    l2_distance,
+    linear_regression,
+    polynomial_regression,
+)
+
+
+def main() -> None:
+    size = 8
+    kernels = {
+        "dot_product": dot_product(size),
+        "hamming_distance": hamming_distance(size),
+        "l2_distance": l2_distance(size),
+        "linear_regression": linear_regression(size),
+        "polynomial_regression": polynomial_regression(size),
+    }
+    compiler = Compiler(CompilerOptions(optimizer="greedy"))
+
+    for name, program in kernels.items():
+        inputs = {}
+        for index, input_name in enumerate(program.inputs):
+            inputs[input_name] = (index % 2) if name == "hamming_distance" else (index % 5) + 1
+        report = compiler.compile_expression(program.output_expr, name=name)
+        execution = execute(report.circuit, inputs)
+        expected = reference_output(program.output_expr, inputs)
+        status = "OK " if execution.outputs["result"] == expected else "FAIL"
+        print(
+            f"[{status}] {name:24s} size={size:3d}  "
+            f"cost {report.initial_cost:8.1f} -> {report.final_cost:7.1f}  "
+            f"latency {execution.latency_ms:7.1f} ms  "
+            f"noise {execution.consumed_noise_budget:5.1f} bits  "
+            f"rules {[step.rule_name for step in report.rewrite_steps][:3]}"
+        )
+
+
+if __name__ == "__main__":
+    main()

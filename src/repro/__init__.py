@@ -1,0 +1,27 @@
+"""repro -- a reproduction of "CHEHAB RL: Learning to Optimize Fully
+Homomorphic Encryption Computations" (ASPLOS 2026).
+
+The package is organised around the paper's system:
+
+* :mod:`repro.ir` -- the CHEHAB expression IR, analyses and tokenizers.
+* :mod:`repro.fhe` -- a BFV-style FHE simulator (batching, noise budget,
+  latency model, rotation keys) standing in for Microsoft SEAL.
+* :mod:`repro.core` -- the FHE-aware analytical cost model and configuration.
+* :mod:`repro.trs` -- the term rewriting system (84 rules + END).
+* :mod:`repro.compiler` -- the embedded DSL, classic passes, TRS-driven
+  vectorizer, lowering to ciphertext instructions and code generation.
+* :mod:`repro.nn` -- a numpy autograd engine with Transformer/GRU layers.
+* :mod:`repro.rl` -- the MDP environment, hierarchical policy and PPO trainer.
+* :mod:`repro.datagen` -- random and motif-based ("LLM-like") dataset
+  generators with ICI deduplication.
+* :mod:`repro.baselines` -- the Coyote-style vectorizer and greedy-TRS
+  baselines.
+* :mod:`repro.kernels` -- the Porcupine/Coyote/polynomial-tree benchmark
+  kernels.
+* :mod:`repro.experiments` -- harnesses regenerating every table and figure
+  of the paper's evaluation.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

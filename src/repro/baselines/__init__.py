@@ -1,0 +1,23 @@
+"""Baseline compilers the paper compares against.
+
+* :mod:`repro.baselines.coyote` -- a Coyote-style SLP vectorizer: packs
+  isomorphic scalar operations level by level, searches lane assignments to
+  minimise data movement, and resolves the resulting layout with rotations
+  and plaintext masks *after* packing (the behaviour that makes Coyote's
+  circuits rotation- and ct-pt-multiplication-heavy in Table 6);
+* :mod:`repro.baselines.greedy_trs` -- the original (non-RL) CHEHAB
+  behaviour: greedy best-improvement term rewriting;
+* :mod:`repro.baselines.scalar` -- the unoptimized "Initial" configuration
+  (no vectorization at all).
+"""
+
+from repro.baselines.coyote import CoyoteCompiler, CoyoteOptions
+from repro.baselines.greedy_trs import GreedyChehabCompiler
+from repro.baselines.scalar import ScalarCompiler
+
+__all__ = [
+    "CoyoteCompiler",
+    "CoyoteOptions",
+    "GreedyChehabCompiler",
+    "ScalarCompiler",
+]

@@ -1,0 +1,40 @@
+"""The original (non-RL) CHEHAB baseline: greedy term rewriting.
+
+The paper's "CHEHAB RL vs CHEHAB" ablation (Fig. 12) compares the learned
+policy against the original compiler, whose rewrite engine applies rules by
+local cost improvement rather than a learned policy.  This module packages
+the greedy rewriter behind the same compiler interface so both can be
+swapped into the experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.pipeline import CompilationReport, Compiler, CompilerOptions
+from repro.core.cost import CostModel
+from repro.ir.nodes import Expr
+
+__all__ = ["GreedyChehabCompiler"]
+
+
+class GreedyChehabCompiler:
+    """The original CHEHAB: greedy best-improvement TRS + classic passes."""
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        layout_before_encryption: bool = True,
+        max_rewrite_steps: int = 75,
+    ) -> None:
+        self._compiler = Compiler(
+            CompilerOptions(
+                optimizer="greedy",
+                cost_model=cost_model if cost_model is not None else CostModel(),
+                layout_before_encryption=layout_before_encryption,
+                max_rewrite_steps=max_rewrite_steps,
+            )
+        )
+
+    def compile_expression(self, expr: Expr, name: str = "circuit") -> CompilationReport:
+        return self._compiler.compile_expression(expr, name=name)

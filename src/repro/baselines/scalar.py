@@ -1,0 +1,29 @@
+"""The unoptimized "Initial" configuration of Table 6.
+
+No vectorization, no rewriting: the scalar program is lowered as-is (every
+scalar operation becomes one ciphertext operation).  This is the column the
+paper labels *Initial* and is the common starting point of every compiler in
+the comparison.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.pipeline import CompilationReport, Compiler, CompilerOptions
+from repro.ir.nodes import Expr
+
+__all__ = ["ScalarCompiler"]
+
+
+class ScalarCompiler:
+    """Lower the program without any optimization."""
+
+    def __init__(self, layout_before_encryption: bool = True) -> None:
+        self._compiler = Compiler(
+            CompilerOptions(
+                optimizer="none",
+                layout_before_encryption=layout_before_encryption,
+            )
+        )
+
+    def compile_expression(self, expr: Expr, name: str = "circuit") -> CompilationReport:
+        return self._compiler.compile_expression(expr, name=name)

@@ -1,0 +1,49 @@
+"""The CHEHAB compiler: DSL → IR → optimized IR → ciphertext circuit.
+
+Pipeline stages (paper Sec. 4):
+
+1. the embedded DSL (:mod:`repro.compiler.dsl`) stages a program into the
+   expression IR;
+2. classic passes (:mod:`repro.compiler.passes`) — constant folding, common
+   sub-expression awareness and dead-code elimination;
+3. the TRS-driven optimizer selects a rewrite sequence with one of several
+   policies (trained RL agent, greedy cost descent, beam search, or none);
+4. lowering (:mod:`repro.compiler.lowering`) assigns data layouts, inserts
+   the rotations/masks needed to gather computed values into packed vectors
+   and produces a :class:`~repro.compiler.circuit.CircuitProgram`;
+5. rotation-key selection (Appendix B) chooses the Galois keys to generate;
+6. code generation emits SEAL-style C++ (:mod:`repro.compiler.codegen`) and
+   the executor (:mod:`repro.compiler.executor`) runs the circuit on the
+   simulated BFV backend, reporting latency, operation counts and consumed
+   noise budget.
+"""
+
+from repro.compiler.circuit import CircuitProgram, CircuitStats, Instruction, Opcode
+from repro.compiler.dsl import Ciphertext, Plaintext, Program
+from repro.compiler.lowering import LoweringOptions, lower
+from repro.compiler.passes import constant_fold, dead_code_eliminate, simplify_pipeline
+from repro.compiler.executor import ExecutionReport, execute, reference_output
+from repro.compiler.codegen import generate_seal_code
+from repro.compiler.pipeline import CompilationReport, Compiler, CompilerOptions
+
+__all__ = [
+    "Ciphertext",
+    "Plaintext",
+    "Program",
+    "CircuitProgram",
+    "CircuitStats",
+    "Instruction",
+    "Opcode",
+    "LoweringOptions",
+    "lower",
+    "constant_fold",
+    "dead_code_eliminate",
+    "simplify_pipeline",
+    "ExecutionReport",
+    "execute",
+    "reference_output",
+    "generate_seal_code",
+    "Compiler",
+    "CompilerOptions",
+    "CompilationReport",
+]

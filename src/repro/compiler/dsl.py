@@ -1,0 +1,197 @@
+"""The CHEHAB embedded DSL, transplanted from C++ to Python.
+
+A program is written with :class:`Ciphertext` and :class:`Plaintext` handles
+whose overloaded operators *stage* the computation into the expression IR
+(the same staging idea CHEHAB borrows from Halide and Tiramisu):
+
+.. code-block:: python
+
+    with Program("motivating_example") as program:
+        v = [Ciphertext(f"v{i}") for i in range(1, 11)]
+        x = ((v[0] * v[1]) * (v[2] * v[3]) + (v[2] * v[3]) * (v[4] * v[5])) * (
+            (v[6] * v[7]) * (v[8] * v[9])
+        )
+        x.set_output("x")
+
+    program.outputs["x"]        # the staged IR expression
+
+Supported operations mirror Table 3 of the paper: ``+``, ``-`` (binary and
+unary), ``*`` with ciphertext/plaintext/int operands, and ``<<`` / ``>>``
+rotations by an integer step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.ir.nodes import (
+    Add,
+    Const,
+    Expr,
+    Mul,
+    Neg,
+    Rotate,
+    Sub,
+    Var,
+    Vec,
+)
+
+__all__ = ["Ciphertext", "Plaintext", "Program", "vector_input"]
+
+Operand = Union["Ciphertext", "Plaintext", int]
+
+
+class Program:
+    """Collects the inputs and outputs of a staged DSL program."""
+
+    _current: Optional["Program"] = None
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self.inputs: List[str] = []
+        self.outputs: Dict[str, Expr] = {}
+
+    # -- context management ---------------------------------------------------
+    def __enter__(self) -> "Program":
+        if Program._current is not None:
+            raise RuntimeError("nested Program contexts are not supported")
+        Program._current = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        Program._current = None
+
+    @classmethod
+    def current(cls) -> Optional["Program"]:
+        return cls._current
+
+    # -- registration -----------------------------------------------------------
+    def register_input(self, name: str) -> None:
+        if name not in self.inputs:
+            self.inputs.append(name)
+
+    def register_output(self, name: str, expr: Expr) -> None:
+        self.outputs[name] = expr
+
+    @property
+    def output_expr(self) -> Expr:
+        """The single output expression (or a Vec of them, in declaration order)."""
+        if not self.outputs:
+            raise ValueError(f"program {self.name!r} declares no outputs")
+        expressions = list(self.outputs.values())
+        if len(expressions) == 1:
+            return expressions[0]
+        return Vec(*expressions)
+
+
+class _Value:
+    """Shared operator-overloading machinery for Ciphertext and Plaintext."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr) -> None:
+        self.expr = expr
+
+    # -- staging helpers ----------------------------------------------------------
+    @staticmethod
+    def _as_expr(operand: Operand) -> Expr:
+        if isinstance(operand, _Value):
+            return operand.expr
+        if isinstance(operand, int):
+            return Const(operand)
+        raise TypeError(f"unsupported operand type {type(operand).__name__}")
+
+    def _wrap(self, expr: Expr) -> "Ciphertext":
+        return Ciphertext._from_expr(expr)
+
+    # -- arithmetic ------------------------------------------------------------------
+    def __add__(self, other: Operand) -> "Ciphertext":
+        return self._wrap(Add(self.expr, self._as_expr(other)))
+
+    def __radd__(self, other: Operand) -> "Ciphertext":
+        return self._wrap(Add(self._as_expr(other), self.expr))
+
+    def __sub__(self, other: Operand) -> "Ciphertext":
+        return self._wrap(Sub(self.expr, self._as_expr(other)))
+
+    def __rsub__(self, other: Operand) -> "Ciphertext":
+        return self._wrap(Sub(self._as_expr(other), self.expr))
+
+    def __mul__(self, other: Operand) -> "Ciphertext":
+        return self._wrap(Mul(self.expr, self._as_expr(other)))
+
+    def __rmul__(self, other: Operand) -> "Ciphertext":
+        return self._wrap(Mul(self._as_expr(other), self.expr))
+
+    def __neg__(self) -> "Ciphertext":
+        return self._wrap(Neg(self.expr))
+
+    def __lshift__(self, step: int) -> "Ciphertext":
+        return self._wrap(Rotate(self.expr, int(step)))
+
+    def __rshift__(self, step: int) -> "Ciphertext":
+        return self._wrap(Rotate(self.expr, -int(step)))
+
+    def square(self) -> "Ciphertext":
+        """``x.square()`` stages ``x * x`` (lowered to a cheaper square op)."""
+        return self._wrap(Mul(self.expr, self.expr))
+
+    # -- outputs -----------------------------------------------------------------------
+    def set_output(self, name: str = "result") -> "Ciphertext":
+        """Mark this value as a program output (requires an active Program)."""
+        program = Program.current()
+        if program is None:
+            raise RuntimeError("set_output() requires an active Program context")
+        program.register_output(name, self.expr)
+        return self  # allow chaining, as in the C++ DSL
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.expr!s})"
+
+
+class Ciphertext(_Value):
+    """An encrypted scalar input or intermediate value."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        if name is None:
+            raise ValueError("input Ciphertexts require a name")
+        super().__init__(Var(name))
+        program = Program.current()
+        if program is not None:
+            program.register_input(name)
+
+    @classmethod
+    def _from_expr(cls, expr: Expr) -> "Ciphertext":
+        instance = object.__new__(cls)
+        _Value.__init__(instance, expr)
+        return instance
+
+
+class Plaintext(_Value):
+    """A clear (unencrypted) scalar value known at runtime or compile time."""
+
+    def __init__(self, value: Union[str, int]) -> None:
+        if isinstance(value, int):
+            super().__init__(Const(value))
+        else:
+            super().__init__(Var(str(value)))
+            program = Program.current()
+            if program is not None:
+                program.register_input(str(value))
+
+    @classmethod
+    def _from_expr(cls, expr: Expr) -> "Plaintext":
+        instance = object.__new__(cls)
+        _Value.__init__(instance, expr)
+        return instance
+
+
+def vector_input(prefix: str, length: int) -> List[Ciphertext]:
+    """Declare ``length`` scalar ciphertext inputs named ``{prefix}_{i}``.
+
+    Benchmarks use this to model vector inputs whose elements the compiler is
+    free to lay out (the client packs them before encryption, Sec. 7.3).
+    """
+    if length < 1:
+        raise ValueError("length must be positive")
+    return [Ciphertext(f"{prefix}_{index}") for index in range(length)]

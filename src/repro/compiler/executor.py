@@ -1,0 +1,192 @@
+"""Execute lowered circuits on the simulated BFV backend.
+
+:func:`execute` encrypts the program inputs (applying the client-side
+packing layouts recorded by lowering), runs every instruction through the
+:class:`~repro.fhe.evaluator.Evaluator`, decrypts the outputs and returns an
+:class:`ExecutionReport` with
+
+* the decrypted output values (meaningful slots only),
+* the simulated execution latency,
+* per-operation counts,
+* the consumed noise budget (initial minus the minimum remaining budget over
+  the outputs), and
+* whether the noise budget was exhausted (the circuit "failed to execute",
+  as Coyote does on Sort-4 and two of the polynomial-tree benchmarks in the
+  paper).
+
+:func:`reference_output` computes the same outputs with the plaintext
+reference evaluator, which the tests use to verify end-to-end correctness of
+every compiled benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.exceptions import CompilationError
+from repro.compiler.circuit import CircuitProgram, Instruction, Opcode
+from repro.fhe.ciphertext import Ciphertext, Plaintext
+from repro.fhe.evaluator import FHEContext
+from repro.fhe.params import BFVParameters
+from repro.ir.evaluate import evaluate
+from repro.ir.nodes import Expr
+
+__all__ = ["ExecutionReport", "execute", "reference_output"]
+
+Value = Union[int, Sequence[int]]
+
+
+@dataclass
+class ExecutionReport:
+    """Result of executing a circuit on the FHE simulator."""
+
+    outputs: Dict[str, List[int]] = field(default_factory=dict)
+    latency_ms: float = 0.0
+    operation_counts: Dict[str, int] = field(default_factory=dict)
+    consumed_noise_budget: float = 0.0
+    remaining_noise_budget: float = 0.0
+    noise_budget_exhausted: bool = False
+    encrypted_inputs: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        """True when every output decrypted within the noise budget."""
+        return not self.noise_budget_exhausted
+
+
+def _slot_value(slot, inputs: Mapping[str, Value]) -> int:
+    if slot.constant is not None:
+        return int(slot.constant)
+    value = inputs.get(slot.name)
+    if value is None:
+        raise CompilationError(f"missing value for program input {slot.name!r}")
+    if isinstance(value, (list, tuple)):
+        raise CompilationError(
+            f"input {slot.name!r} is packed slot-wise and must be a scalar"
+        )
+    return int(value)
+
+
+def _build_plaintext(instruction: Instruction, context: FHEContext) -> Plaintext:
+    if instruction.name == "broadcast":
+        return context.encoder.encode_scalar(instruction.values[0])
+    return context.encoder.encode(list(instruction.values))
+
+
+def execute(
+    program: CircuitProgram,
+    inputs: Mapping[str, Value],
+    params: Optional[BFVParameters] = None,
+    context: Optional[FHEContext] = None,
+) -> ExecutionReport:
+    """Run ``program`` on the simulated BFV backend with the given inputs."""
+    if context is None:
+        steps = program.rotation_steps
+        # Generate exactly the Galois keys the circuit needs (plus defaults).
+        galois_steps = sorted(set(steps) | set())
+        context = FHEContext(params=params, galois_steps=galois_steps or None)
+    evaluator = context.evaluator
+    evaluator.reset_log()
+
+    registers: Dict[int, Union[Ciphertext, Plaintext]] = {}
+    encrypted_inputs = 0
+
+    for instruction in program.instructions:
+        opcode = instruction.opcode
+        if opcode is Opcode.LOAD_INPUT:
+            slot_values = [_slot_value(slot, inputs) for slot in instruction.layout]
+            plaintext = context.encoder.encode(slot_values)
+            registers[instruction.result] = context.encryptor.encrypt(plaintext)
+            encrypted_inputs += 1
+        elif opcode is Opcode.LOAD_PLAIN:
+            registers[instruction.result] = _build_plaintext(instruction, context)
+        elif opcode is Opcode.ADD:
+            lhs, rhs = (registers[op] for op in instruction.operands)
+            registers[instruction.result] = evaluator.add(lhs, rhs)
+        elif opcode is Opcode.SUB:
+            lhs, rhs = (registers[op] for op in instruction.operands)
+            registers[instruction.result] = evaluator.sub(lhs, rhs)
+        elif opcode is Opcode.MUL:
+            lhs, rhs = (registers[op] for op in instruction.operands)
+            result = evaluator.multiply(lhs, rhs)
+            registers[instruction.result] = evaluator.relinearize(result)
+        elif opcode is Opcode.ADD_PLAIN:
+            lhs = registers[instruction.operands[0]]
+            plain = registers[instruction.operands[1]]
+            registers[instruction.result] = evaluator.add_plain(lhs, plain)
+        elif opcode is Opcode.SUB_PLAIN:
+            lhs = registers[instruction.operands[0]]
+            plain = registers[instruction.operands[1]]
+            registers[instruction.result] = evaluator.sub_plain(lhs, plain)
+        elif opcode is Opcode.MUL_PLAIN:
+            lhs = registers[instruction.operands[0]]
+            plain = registers[instruction.operands[1]]
+            registers[instruction.result] = evaluator.multiply_plain(lhs, plain)
+        elif opcode is Opcode.NEGATE:
+            registers[instruction.result] = evaluator.negate(
+                registers[instruction.operands[0]]
+            )
+        elif opcode is Opcode.ROTATE:
+            registers[instruction.result] = evaluator.rotate(
+                registers[instruction.operands[0]], instruction.step
+            )
+        elif opcode is Opcode.OUTPUT:
+            registers[instruction.result] = registers[instruction.operands[0]]
+        else:  # pragma: no cover - defensive
+            raise CompilationError(f"unknown opcode {opcode}")
+
+    report = ExecutionReport(
+        latency_ms=evaluator.log.total_latency_ms,
+        operation_counts=evaluator.log.as_dict(),
+        encrypted_inputs=encrypted_inputs,
+    )
+
+    initial_budget = context.params.initial_noise_budget
+    minimum_budget = initial_budget
+    half = context.params.plain_modulus // 2
+    for register, name, length in program.outputs:
+        value = registers[register]
+        if isinstance(value, Plaintext):
+            decoded = context.encoder.decode(value, length)
+            report.outputs[name] = decoded
+            continue
+        budget = context.decryptor.invariant_noise_budget(value)
+        minimum_budget = min(minimum_budget, budget)
+        if budget <= 0.0:
+            report.noise_budget_exhausted = True
+        raw = value.slots[:length]
+        decoded = [
+            int(v - context.params.plain_modulus) if v > half else int(v) for v in raw
+        ]
+        report.outputs[name] = decoded
+
+    report.remaining_noise_budget = max(0.0, minimum_budget)
+    report.consumed_noise_budget = initial_budget - report.remaining_noise_budget
+    return report
+
+
+def reference_output(
+    expr: Expr,
+    inputs: Mapping[str, Value],
+    length: Optional[int] = None,
+    slot_count: int = 64,
+    plain_modulus: Optional[int] = None,
+) -> List[int]:
+    """Plaintext reference output of an IR expression (meaningful slots only).
+
+    BFV computes over ``Z_t``, so the reference is reduced modulo the
+    plaintext modulus and mapped to centred representatives — exactly what
+    decrypting and decoding the compiled circuit yields.  Pass
+    ``plain_modulus=None``-compatible large values through the default, or an
+    explicit modulus matching non-default parameters.
+    """
+    from repro.ir.evaluate import output_arity
+
+    if plain_modulus is None:
+        plain_modulus = BFVParameters.default().plain_modulus
+    if length is None:
+        length = output_arity(expr)
+    slots = evaluate(expr, inputs, slot_count=max(slot_count, length), modulus=plain_modulus)
+    half = plain_modulus // 2
+    return [value - plain_modulus if value > half else value for value in slots[:length]]

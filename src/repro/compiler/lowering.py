@@ -1,0 +1,309 @@
+"""Lowering: from optimized IR expressions to ciphertext circuits.
+
+Lowering resolves the *data layout* of the program:
+
+* ``Vec`` constructors over input variables / constants become a single
+  packed encrypted input (the client permutes and packs the data **before
+  encryption**, Sec. 7.3) — or, when
+  :attr:`LoweringOptions.layout_before_encryption` is disabled (the ablation
+  column of Table 6), the packed vector is assembled **after encryption**
+  with rotations and additions of individually encrypted scalars;
+* ``Vec`` constructors over *computed* values are gathered with the
+  classical mask-rotate-add sequence (one plaintext mask multiplication and
+  one rotation per element beyond the first);
+* vector operations whose operand is a vector of constants become
+  ciphertext-plaintext operations (``MUL_PLAIN``/``ADD_PLAIN``), not
+  ciphertext-ciphertext ones;
+* remaining scalar operations become ordinary ciphertext operations whose
+  meaningful value lives in slot 0.
+
+The result is a :class:`~repro.compiler.circuit.CircuitProgram` whose
+statistics and simulated execution reproduce the paper's per-benchmark
+metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.exceptions import CompilationError
+from repro.compiler.circuit import CircuitProgram, InputSlot, Instruction, Opcode
+from repro.ir.nodes import (
+    Add,
+    Const,
+    Expr,
+    Mul,
+    Neg,
+    Rotate,
+    Sub,
+    Var,
+    Vec,
+    VecAdd,
+    VecMul,
+    VecNeg,
+    VecSub,
+)
+from repro.ir.evaluate import output_arity
+
+__all__ = ["LoweringOptions", "lower", "PlainValue"]
+
+
+@dataclass(frozen=True)
+class LoweringOptions:
+    """Options controlling layout resolution."""
+
+    #: Pack/permute input data on the client before encryption (Sec. 7.3).
+    #: When False, packed inputs are assembled homomorphically after
+    #: encryption (extra rotations and additions).
+    layout_before_encryption: bool = True
+    #: Mask computed Vec elements to slot 0 before inserting them.  Disabling
+    #: this is unsafe in general and exists only for cost exploration.
+    mask_gathered_elements: bool = True
+
+
+@dataclass(frozen=True)
+class PlainValue:
+    """A compile-time-known plaintext value (broadcast scalar or slot vector)."""
+
+    broadcast: bool
+    values: Tuple[int, ...]
+
+    @classmethod
+    def scalar(cls, value: int) -> "PlainValue":
+        return cls(broadcast=True, values=(int(value),))
+
+    @classmethod
+    def vector(cls, values: List[int]) -> "PlainValue":
+        return cls(broadcast=False, values=tuple(int(v) for v in values))
+
+    def slot(self, index: int) -> int:
+        if self.broadcast:
+            return self.values[0]
+        return self.values[index] if index < len(self.values) else 0
+
+    def width(self, other: "PlainValue") -> int:
+        widths = []
+        if not self.broadcast:
+            widths.append(len(self.values))
+        if not other.broadcast:
+            widths.append(len(other.values))
+        return max(widths) if widths else 1
+
+    def combine(self, other: "PlainValue", op) -> "PlainValue":
+        if self.broadcast and other.broadcast:
+            return PlainValue.scalar(op(self.values[0], other.values[0]))
+        width = self.width(other)
+        return PlainValue.vector(
+            [op(self.slot(i), other.slot(i)) for i in range(width)]
+        )
+
+
+#: A lowered operand: either a ciphertext register id or a plaintext value.
+Lowered = Union[int, PlainValue]
+
+
+class _Lowerer:
+    """Stateful lowering of one expression into a circuit program."""
+
+    def __init__(self, name: str, options: LoweringOptions) -> None:
+        self.options = options
+        self.program = CircuitProgram(name=name)
+        self._cache: Dict[Expr, Lowered] = {}
+        self._scalar_inputs: Dict[str, int] = {}
+        self._packed_inputs: Dict[Tuple[InputSlot, ...], int] = {}
+        self._plain_registers: Dict[Tuple, int] = {}
+
+    # -- plaintext / input helpers -------------------------------------------------
+    def _emit_plain(self, value: PlainValue) -> int:
+        key = (value.broadcast, value.values)
+        register = self._plain_registers.get(key)
+        if register is None:
+            register = self.program.emit(
+                Opcode.LOAD_PLAIN,
+                name="broadcast" if value.broadcast else "vector",
+                values=value.values,
+            )
+            self._plain_registers[key] = register
+        return register
+
+    def _emit_scalar_input(self, name: str) -> int:
+        register = self._scalar_inputs.get(name)
+        if register is None:
+            register = self.program.emit(
+                Opcode.LOAD_INPUT,
+                name=name,
+                layout=(InputSlot(name=name),),
+            )
+            self._scalar_inputs[name] = register
+            if name not in self.program.scalar_inputs:
+                self.program.scalar_inputs.append(name)
+        return register
+
+    def _emit_packed_input(self, layout: Tuple[InputSlot, ...]) -> int:
+        register = self._packed_inputs.get(layout)
+        if register is None:
+            register = self.program.emit(Opcode.LOAD_INPUT, layout=layout)
+            self._packed_inputs[layout] = register
+            for slot in layout:
+                if slot.name is not None and slot.name not in self.program.scalar_inputs:
+                    self.program.scalar_inputs.append(slot.name)
+        return register
+
+    def _as_ciphertext(self, lowered: Lowered) -> int:
+        """Force a lowered value into a ciphertext register."""
+        if isinstance(lowered, PlainValue):
+            # Encrypt the known values as a packed input (the client can do
+            # this for free since the values are public constants).
+            if lowered.broadcast:
+                layout = (InputSlot(constant=lowered.values[0]),)
+            else:
+                layout = tuple(InputSlot(constant=v) for v in lowered.values)
+            return self._emit_packed_input(layout)
+        return lowered
+
+    def _mask(self, register: int, width: int) -> int:
+        """Mask ``register`` down to its first ``width`` slots."""
+        mask = PlainValue.vector([1] * width)
+        return self.program.emit(
+            Opcode.MUL_PLAIN, (register, self._emit_plain(mask))
+        )
+
+    # -- main dispatch ----------------------------------------------------------------
+    def lower(self, expr: Expr) -> Lowered:
+        cached = self._cache.get(expr)
+        if cached is not None:
+            return cached
+        result = self._lower(expr)
+        self._cache[expr] = result
+        return result
+
+    def _lower(self, expr: Expr) -> Lowered:
+        if isinstance(expr, Const):
+            return PlainValue.scalar(expr.value)
+        if isinstance(expr, Var):
+            return self._emit_scalar_input(expr.name)
+        if isinstance(expr, Vec):
+            return self._lower_vec(expr)
+        if isinstance(expr, (Add, VecAdd)):
+            return self._lower_binary(expr, Opcode.ADD, Opcode.ADD_PLAIN, lambda a, b: a + b)
+        if isinstance(expr, (Sub, VecSub)):
+            return self._lower_binary(expr, Opcode.SUB, Opcode.SUB_PLAIN, lambda a, b: a - b)
+        if isinstance(expr, (Mul, VecMul)):
+            return self._lower_binary(expr, Opcode.MUL, Opcode.MUL_PLAIN, lambda a, b: a * b)
+        if isinstance(expr, (Neg, VecNeg)):
+            return self._lower_neg(expr)
+        if isinstance(expr, Rotate):
+            return self._lower_rotate(expr)
+        raise CompilationError(f"cannot lower node of type {type(expr).__name__}")
+
+    # -- node-specific lowering ----------------------------------------------------------
+    def _lower_vec(self, expr: Vec) -> Lowered:
+        elements = expr.elements
+        if all(isinstance(element, Const) for element in elements):
+            return PlainValue.vector([element.value for element in elements])
+
+        leaves_only = all(element.is_leaf() for element in elements)
+        if leaves_only and self.options.layout_before_encryption:
+            layout = tuple(
+                InputSlot(name=element.name)
+                if isinstance(element, Var)
+                else InputSlot(constant=element.value)
+                for element in elements
+            )
+            return self._emit_packed_input(layout)
+
+        # General gather: start from the client-packed leaf slots (or zero),
+        # then insert every computed element with mask + rotate + add.
+        base_layout: List[InputSlot] = []
+        computed: List[Tuple[int, Expr]] = []
+        for index, element in enumerate(elements):
+            if element.is_leaf() and self.options.layout_before_encryption:
+                if isinstance(element, Var):
+                    base_layout.append(InputSlot(name=element.name))
+                else:
+                    base_layout.append(InputSlot(constant=element.value))
+            else:
+                base_layout.append(InputSlot(constant=0))
+                computed.append((index, element))
+
+        accumulator: Optional[int] = None
+        if any(slot.name is not None or slot.constant != 0 for slot in base_layout):
+            accumulator = self._emit_packed_input(tuple(base_layout))
+
+        for index, element in computed:
+            register = self._as_ciphertext(self.lower(element))
+            if self.options.mask_gathered_elements:
+                register = self._mask(register, 1)
+            if index != 0:
+                register = self.program.emit(Opcode.ROTATE, (register,), step=-index)
+            accumulator = (
+                register
+                if accumulator is None
+                else self.program.emit(Opcode.ADD, (accumulator, register))
+            )
+        assert accumulator is not None
+        return accumulator
+
+    def _lower_binary(self, expr: Expr, ct_opcode: Opcode, plain_opcode: Opcode, fold) -> Lowered:
+        left = self.lower(expr.children[0])
+        right = self.lower(expr.children[1])
+        if isinstance(left, PlainValue) and isinstance(right, PlainValue):
+            return left.combine(right, fold)
+        if isinstance(right, PlainValue):
+            return self.program.emit(
+                plain_opcode, (self._as_ciphertext(left), self._emit_plain(right))
+            )
+        if isinstance(left, PlainValue):
+            if ct_opcode is Opcode.SUB:
+                negated = self.program.emit(Opcode.NEGATE, (right,))
+                return self.program.emit(
+                    Opcode.ADD_PLAIN, (negated, self._emit_plain(left))
+                )
+            return self.program.emit(
+                plain_opcode, (right, self._emit_plain(left))
+            )
+        return self.program.emit(ct_opcode, (left, right))
+
+    def _lower_neg(self, expr: Expr) -> Lowered:
+        operand = self.lower(expr.children[0])
+        if isinstance(operand, PlainValue):
+            return operand.combine(PlainValue.scalar(0), lambda a, _b: -a)
+        return self.program.emit(Opcode.NEGATE, (operand,))
+
+    def _lower_rotate(self, expr: Rotate) -> Lowered:
+        operand = self.lower(expr.operand)
+        if expr.step == 0:
+            return operand
+        if isinstance(operand, PlainValue):
+            if operand.broadcast:
+                return operand
+            # Rotating a partially-known plaintext vector depends on the full
+            # slot width, so materialise it as a packed input and rotate
+            # homomorphically.
+            operand = self._as_ciphertext(operand)
+        return self.program.emit(Opcode.ROTATE, (operand,), step=expr.step)
+
+
+def lower(
+    expr: Expr,
+    name: str = "circuit",
+    output_name: str = "result",
+    options: Optional[LoweringOptions] = None,
+    output_length: Optional[int] = None,
+) -> CircuitProgram:
+    """Lower an optimized IR expression into a ciphertext circuit.
+
+    ``output_length`` is the number of meaningful output slots; it defaults
+    to the arity of ``expr`` but callers that optimized a program should pass
+    the arity of the *original* program, since rewrites may widen the
+    expression (e.g. reductions leave partial sums in the upper slots).
+    """
+    options = options if options is not None else LoweringOptions()
+    lowerer = _Lowerer(name, options)
+    result = lowerer.lower(expr)
+    register = lowerer._as_ciphertext(result)
+    program = lowerer.program
+    length = output_length if output_length is not None else output_arity(expr)
+    program.mark_output(register, output_name, length)
+    return program

@@ -1,0 +1,168 @@
+"""End-to-end compilation pipeline (the CHEHAB driver).
+
+:class:`Compiler` wires the stages together: expression-level classic passes,
+the TRS optimizer (any object exposing ``optimize(expr) -> RewriteResult``,
+i.e. the trained RL agent, the greedy/beam baselines or ``None`` for the
+unoptimized "Initial" configuration of Table 6), lowering, circuit-level dead
+code elimination and rotation-key selection.  The returned
+:class:`CompilationReport` carries everything the experiment harness needs:
+the optimized expression, the lowered circuit, its static statistics, the
+measured compilation time and the rotation-key plan.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core.cost import CostModel
+from repro.compiler.circuit import CircuitProgram, CircuitStats
+from repro.compiler.codegen import generate_seal_code
+from repro.compiler.dsl import Program
+from repro.compiler.lowering import LoweringOptions, lower
+from repro.compiler.passes import constant_fold, dead_code_eliminate
+from repro.fhe.params import BFVParameters
+from repro.fhe.rotation_keys import RotationKeyPlan, select_rotation_keys
+from repro.ir.nodes import Expr
+from repro.trs.rewriter import GreedyRewriter, BeamSearchRewriter, RewriteResult, RewriteStep
+
+__all__ = ["CompilerOptions", "CompilationReport", "Compiler"]
+
+
+@dataclass
+class CompilerOptions:
+    """Configuration of one compilation run."""
+
+    #: Either the name of a built-in optimizer ("greedy", "beam", "none") or
+    #: any object with an ``optimize(expr) -> RewriteResult`` method (e.g. a
+    #: trained :class:`repro.rl.agent.ChehabAgent`).
+    optimizer: Union[str, object] = "greedy"
+    #: Cost model used by the built-in optimizers.
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: Transform input data layout on the client before encryption (Sec. 7.3).
+    layout_before_encryption: bool = True
+    #: Run the automatic rotation-key selection pass (Appendix B).  Disabled
+    #: in the main comparison for parity with Coyote.
+    select_rotation_keys: bool = False
+    #: Upper bound on the number of generated Galois keys (default 2*log2 n).
+    rotation_key_budget: Optional[int] = None
+    #: Encryption parameters (only the slot count and noise budget matter to
+    #: compilation; execution uses the same parameters).
+    params: BFVParameters = field(default_factory=BFVParameters.default)
+    #: Maximum rewrite steps for the built-in optimizers.
+    max_rewrite_steps: int = 75
+
+
+@dataclass
+class CompilationReport:
+    """Everything produced by one compilation."""
+
+    name: str
+    source_expr: Expr
+    optimized_expr: Expr
+    circuit: CircuitProgram
+    stats: CircuitStats
+    compile_time_s: float
+    rewrite_steps: List[RewriteStep] = field(default_factory=list)
+    initial_cost: float = 0.0
+    final_cost: float = 0.0
+    rotation_key_plan: Optional[RotationKeyPlan] = None
+
+    @property
+    def cost_improvement(self) -> float:
+        """Fractional reduction of the analytical cost achieved by rewriting."""
+        if self.initial_cost <= 0:
+            return 0.0
+        return max(0.0, (self.initial_cost - self.final_cost) / self.initial_cost)
+
+    def seal_code(self) -> str:
+        """SEAL-style C++ for the compiled circuit."""
+        return generate_seal_code(self.circuit)
+
+
+class Compiler:
+    """The CHEHAB compiler driver."""
+
+    def __init__(self, options: Optional[CompilerOptions] = None) -> None:
+        self.options = options if options is not None else CompilerOptions()
+
+    # -- optimizer resolution --------------------------------------------------------
+    def _resolve_optimizer(self):
+        optimizer = self.options.optimizer
+        if optimizer is None or optimizer == "none":
+            return None
+        if isinstance(optimizer, str):
+            if optimizer == "greedy":
+                return GreedyRewriter(
+                    cost_model=self.options.cost_model,
+                    max_steps=self.options.max_rewrite_steps,
+                )
+            if optimizer == "beam":
+                return BeamSearchRewriter(
+                    cost_model=self.options.cost_model,
+                    max_steps=min(self.options.max_rewrite_steps, 20),
+                )
+            raise ValueError(f"unknown optimizer {optimizer!r}")
+        if not hasattr(optimizer, "optimize"):
+            raise TypeError("optimizer must expose an optimize(expr) method")
+        return optimizer
+
+    # -- entry points --------------------------------------------------------------------
+    def compile_program(self, program: Program) -> CompilationReport:
+        """Compile a staged DSL program."""
+        return self.compile_expression(program.output_expr, name=program.name)
+
+    def compile_expression(self, expr: Expr, name: str = "circuit") -> CompilationReport:
+        """Compile a single IR expression."""
+        start = time.perf_counter()
+        cost_model = self.options.cost_model
+
+        folded = constant_fold(expr)
+        initial_cost = cost_model.cost(folded)
+
+        optimizer = self._resolve_optimizer()
+        if optimizer is None:
+            optimized = folded
+            steps: List[RewriteStep] = []
+            final_cost = initial_cost
+        else:
+            result: RewriteResult = optimizer.optimize(folded)
+            optimized = constant_fold(result.optimized)
+            steps = list(result.steps)
+            final_cost = cost_model.cost(optimized)
+
+        lowering_options = LoweringOptions(
+            layout_before_encryption=self.options.layout_before_encryption
+        )
+        from repro.ir.evaluate import output_arity
+
+        circuit = lower(
+            optimized,
+            name=name,
+            options=lowering_options,
+            output_length=output_arity(folded),
+        )
+        circuit = dead_code_eliminate(circuit)
+
+        rotation_plan: Optional[RotationKeyPlan] = None
+        if self.options.select_rotation_keys and circuit.rotation_steps:
+            rotation_plan = select_rotation_keys(
+                circuit.rotation_steps,
+                slot_count=self.options.params.slot_count,
+                beta=self.options.rotation_key_budget,
+            )
+
+        elapsed = time.perf_counter() - start
+        return CompilationReport(
+            name=name,
+            source_expr=expr,
+            optimized_expr=optimized,
+            circuit=circuit,
+            stats=circuit.stats(),
+            compile_time_s=elapsed,
+            rewrite_steps=steps,
+            initial_cost=initial_cost,
+            final_cost=final_cost,
+            rotation_key_plan=rotation_plan,
+        )

@@ -1,0 +1,20 @@
+"""Core configuration, cost model and exceptions shared across the compiler."""
+
+from repro.core.cost import CostModel, CostWeights, OperationCosts, expression_cost
+from repro.core.exceptions import (
+    CompilationError,
+    NoiseBudgetExhausted,
+    ReproError,
+    RotationKeyMissing,
+)
+
+__all__ = [
+    "CostModel",
+    "CostWeights",
+    "OperationCosts",
+    "expression_cost",
+    "ReproError",
+    "CompilationError",
+    "NoiseBudgetExhausted",
+    "RotationKeyMissing",
+]

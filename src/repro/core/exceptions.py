@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CompilationError",
+    "NoiseBudgetExhausted",
+    "RotationKeyMissing",
+    "InvalidParameters",
+]
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the repro package."""
+
+
+class CompilationError(ReproError):
+    """A compiler pass failed (ill-typed IR, lowering failure, ...)."""
+
+
+class InvalidParameters(ReproError):
+    """FHE encryption parameters are inconsistent or insecure."""
+
+
+class NoiseBudgetExhausted(ReproError):
+    """A ciphertext's noise budget reached zero; decryption would fail.
+
+    Mirrors what happens in SEAL when ``invariant_noise_budget`` hits zero:
+    the circuit is invalid for the chosen parameters.
+    """
+
+    def __init__(self, message: str, consumed_bits: float = 0.0) -> None:
+        super().__init__(message)
+        self.consumed_bits = consumed_bits
+
+
+class RotationKeyMissing(ReproError):
+    """A rotation was requested for a step with no generated Galois key."""
+
+    def __init__(self, step: int) -> None:
+        super().__init__(f"no Galois key generated for rotation step {step}")
+        self.step = step

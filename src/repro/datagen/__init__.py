@@ -1,0 +1,27 @@
+"""Training-data generation for the RL agent.
+
+Two generators mirror the paper's data ablation (Sec. 6 and Fig. 8):
+
+* :mod:`repro.datagen.random_gen` -- the uniform random expression generator
+  of Appendix H.2 (random operator/leaf choices balanced over depth and
+  vector size);
+* :mod:`repro.datagen.synthetic` -- the stand-in for the paper's
+  LLM-synthesized corpus: a motif-driven generator that produces expressions
+  with the realistic, *optimizable* structure the LLM prompt asks for
+  (shared sub-expressions, factorable sums, isomorphic vector elements,
+  reduction trees, stencils), see DESIGN.md for the substitution rationale.
+
+:mod:`repro.datagen.dataset` wraps either stream with ICI-canonical-form
+deduplication, benchmark exclusion and train/validation splitting.
+"""
+
+from repro.datagen.random_gen import RandomExpressionGenerator
+from repro.datagen.synthetic import SyntheticKernelGenerator
+from repro.datagen.dataset import ExpressionDataset, build_dataset
+
+__all__ = [
+    "RandomExpressionGenerator",
+    "SyntheticKernelGenerator",
+    "ExpressionDataset",
+    "build_dataset",
+]

@@ -1,0 +1,134 @@
+"""Dataset container with ICI deduplication and benchmark exclusion.
+
+Mirrors the paper's post-processing pipeline (Sec. 6):
+
+1. parse and validate every generated expression (invalid ones never reach
+   this layer since we generate IR directly);
+2. deduplicate by ICI canonical form — programs that differ only in
+   identifier names or non-0/1 constants collapse to the same sample;
+3. remove any sample whose canonical form matches one of the evaluation
+   benchmarks, so evaluation measures generalization to unseen programs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.ir.nodes import Expr
+from repro.ir.parser import parse
+from repro.ir.printer import to_sexpr
+from repro.ir.tokenize import canonical_form
+
+__all__ = ["ExpressionDataset", "build_dataset"]
+
+
+@dataclass
+class ExpressionDataset:
+    """A deduplicated collection of IR expressions."""
+
+    expressions: List[Expr] = field(default_factory=list)
+    #: Canonical forms present (maintained for O(1) dedup checks).
+    canonical_forms: Set[str] = field(default_factory=set)
+    #: Canonical forms that must never enter the dataset (benchmarks).
+    excluded_forms: Set[str] = field(default_factory=set)
+    #: How many candidates were rejected as duplicates / exclusions.
+    duplicates_rejected: int = 0
+    exclusions_rejected: int = 0
+
+    def __len__(self) -> int:
+        return len(self.expressions)
+
+    def __iter__(self):
+        return iter(self.expressions)
+
+    def __getitem__(self, index: int) -> Expr:
+        return self.expressions[index]
+
+    # -- construction ---------------------------------------------------------------
+    def exclude(self, benchmarks: Iterable[Expr]) -> None:
+        """Register benchmark expressions whose canonical forms are banned."""
+        for expr in benchmarks:
+            self.excluded_forms.add(canonical_form(expr))
+
+    def add(self, expr: Expr) -> bool:
+        """Add ``expr`` unless it is a duplicate or matches a benchmark."""
+        form = canonical_form(expr)
+        if form in self.excluded_forms:
+            self.exclusions_rejected += 1
+            return False
+        if form in self.canonical_forms:
+            self.duplicates_rejected += 1
+            return False
+        self.canonical_forms.add(form)
+        self.expressions.append(expr)
+        return True
+
+    def extend(self, expressions: Iterable[Expr]) -> int:
+        """Add many expressions; returns how many were actually added."""
+        added = 0
+        for expr in expressions:
+            if self.add(expr):
+                added += 1
+        return added
+
+    # -- splits ---------------------------------------------------------------------------
+    def split(
+        self, validation_fraction: float = 0.1, seed: Optional[int] = 0
+    ) -> Tuple[List[Expr], List[Expr]]:
+        """Shuffle and split into (train, validation) lists."""
+        if not 0.0 <= validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in [0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self.expressions))
+        cut = int(len(order) * validation_fraction)
+        validation = [self.expressions[i] for i in order[:cut]]
+        train = [self.expressions[i] for i in order[cut:]]
+        return train, validation
+
+    # -- persistence ---------------------------------------------------------------------------
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write one s-expression per line (the paper's dataset format)."""
+        directory = os.path.dirname(os.fspath(path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            for expr in self.expressions:
+                handle.write(to_sexpr(expr) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "ExpressionDataset":
+        """Load a dataset saved by :meth:`save`."""
+        dataset = cls()
+        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    dataset.add(parse(line))
+        return dataset
+
+
+def build_dataset(
+    generator,
+    target_size: int,
+    benchmarks: Optional[Sequence[Expr]] = None,
+    max_attempts_factor: int = 20,
+) -> ExpressionDataset:
+    """Draw from ``generator.generate()`` until ``target_size`` unique samples.
+
+    ``max_attempts_factor`` bounds the total number of generator calls at
+    ``target_size * max_attempts_factor`` so a low-diversity generator cannot
+    loop forever.
+    """
+    dataset = ExpressionDataset()
+    if benchmarks:
+        dataset.exclude(benchmarks)
+    attempts = 0
+    limit = target_size * max_attempts_factor
+    while len(dataset) < target_size and attempts < limit:
+        dataset.add(generator.generate())
+        attempts += 1
+    return dataset

@@ -1,0 +1,88 @@
+"""Uniform random IR expression generation (paper Appendix H.2).
+
+The generator recursively builds expression trees controlled by two
+parameters, the maximum depth and the vector size, sampling operators and
+leaves uniformly.  Sampling is balanced across all (depth, vector-size)
+combinations so a corpus covers a wide range of shapes — which is exactly
+why it under-represents the *structured, optimizable* patterns that make the
+motif-based generator (and the paper's LLM corpus) better training data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ir.nodes import Add, Const, Expr, Mul, Neg, Sub, Var, Vec
+
+__all__ = ["RandomExpressionGenerator"]
+
+_SCALAR_OPS = ("+", "-", "*", "neg")
+
+
+class RandomExpressionGenerator:
+    """Generates random scalar/vector expressions with uniform operator choice."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        max_vector_size: int = 8,
+        num_variables: int = 12,
+        constant_range: int = 7,
+        seed: Optional[int] = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if max_vector_size < 1:
+            raise ValueError("max_vector_size must be at least 1")
+        self.max_depth = max_depth
+        self.max_vector_size = max_vector_size
+        self.num_variables = num_variables
+        self.constant_range = constant_range
+        self._rng = np.random.default_rng(seed)
+
+    # -- leaves ------------------------------------------------------------------
+    def _leaf(self) -> Expr:
+        if self._rng.random() < 0.8:
+            index = int(self._rng.integers(0, self.num_variables))
+            return Var(f"x{index}")
+        value = int(self._rng.integers(1, self.constant_range + 1))
+        return Const(value)
+
+    # -- scalar expressions ----------------------------------------------------------
+    def _scalar(self, depth: int) -> Expr:
+        if depth <= 0 or self._rng.random() < 0.15:
+            return self._leaf()
+        op = self._rng.choice(_SCALAR_OPS)
+        if op == "neg":
+            return Neg(self._scalar(depth - 1))
+        left = self._scalar(depth - 1)
+        right = self._scalar(depth - 1)
+        if op == "+":
+            return Add(left, right)
+        if op == "-":
+            return Sub(left, right)
+        return Mul(left, right)
+
+    # -- public API ----------------------------------------------------------------------
+    def generate(
+        self, depth: Optional[int] = None, vector_size: Optional[int] = None
+    ) -> Expr:
+        """Generate one expression.
+
+        Depth and vector size are sampled uniformly (balanced coverage) when
+        not provided, matching the Appendix H.2 procedure.
+        """
+        if depth is None:
+            depth = int(self._rng.integers(1, self.max_depth + 1))
+        if vector_size is None:
+            vector_size = int(self._rng.integers(1, self.max_vector_size + 1))
+        elements = [self._scalar(depth) for _ in range(vector_size)]
+        if vector_size == 1 and self._rng.random() < 0.5:
+            return elements[0]
+        return Vec(*elements)
+
+    def generate_many(self, count: int) -> List[Expr]:
+        """Generate ``count`` expressions (possibly containing duplicates)."""
+        return [self.generate() for _ in range(count)]

@@ -1,0 +1,186 @@
+"""Motif-based synthetic training data ("LLM-like" corpus).
+
+The paper synthesizes its training corpus with Gemini 2.5 Flash, prompting
+it with the IR grammar, the rewrite rules and real-world kernels so the
+generated expressions contain *optimizable structure*.  No LLM is available
+offline, so this generator reproduces the property the ablation depends on
+directly: every sample is built from one of the real-computation motifs the
+prompt showcases (Appendix F), with randomised sizes, variable names and
+perturbations:
+
+* dot-product / sum-of-products reductions,
+* element-wise squared differences (L2 distance),
+* element-wise matrix/vector addition and multiplication (isomorphic Vec),
+* stencil sums (blur / gradient style),
+* factorable sums sharing a common factor,
+* unbalanced product or addition chains (depth-reduction opportunities),
+* mixed Vec elements (non-isomorphic vectorization opportunities),
+* union-cardinality style bit arithmetic.
+
+The distribution is therefore rich in exactly the rewrite opportunities the
+TRS targets, while the uniform random generator is not — which is the
+contrast the LLM-vs-random ablation (Fig. 8) measures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ir.nodes import Add, Const, Expr, Mul, Neg, Sub, Var, Vec
+
+__all__ = ["SyntheticKernelGenerator"]
+
+
+class SyntheticKernelGenerator:
+    """Generates expressions drawn from realistic computational motifs."""
+
+    def __init__(self, seed: Optional[int] = None, max_size: int = 8) -> None:
+        if max_size < 2:
+            raise ValueError("max_size must be at least 2")
+        self.max_size = max_size
+        self._rng = np.random.default_rng(seed)
+        self._motifs: List[Callable[[], Expr]] = [
+            self._dot_product,
+            self._squared_difference,
+            self._elementwise_binary,
+            self._stencil_sum,
+            self._factorable_sum,
+            self._product_chain,
+            self._mixed_vector,
+            self._union_cardinality,
+            self._weighted_sum,
+            self._polynomial,
+        ]
+
+    # -- helpers -------------------------------------------------------------------
+    def _size(self, minimum: int = 2) -> int:
+        return int(self._rng.integers(minimum, self.max_size + 1))
+
+    def _vars(self, prefix: str, count: int) -> List[Var]:
+        offset = int(self._rng.integers(0, 4))
+        return [Var(f"{prefix}{offset}_{index}") for index in range(count)]
+
+    def _sum(self, terms: Sequence[Expr]) -> Expr:
+        result = terms[0]
+        for term in terms[1:]:
+            result = Add(result, term)
+        return result
+
+    # -- motifs ----------------------------------------------------------------------
+    def _dot_product(self) -> Expr:
+        size = self._size()
+        a = self._vars("a", size)
+        b = self._vars("b", size)
+        return self._sum([Mul(x, y) for x, y in zip(a, b)])
+
+    def _squared_difference(self) -> Expr:
+        size = self._size()
+        a = self._vars("p", size)
+        b = self._vars("q", size)
+        diffs = [Sub(x, y) for x, y in zip(a, b)]
+        if self._rng.random() < 0.5:
+            # Element-wise squared error as a vector result.
+            return Vec(*[Mul(d, d) for d in diffs])
+        # L2-distance style reduction.
+        return self._sum([Mul(d, d) for d in diffs])
+
+    def _elementwise_binary(self) -> Expr:
+        size = self._size()
+        a = self._vars("m", size)
+        b = self._vars("n", size)
+        op = self._rng.choice(["add", "sub", "mul"])
+        if op == "add":
+            elements = [Add(x, y) for x, y in zip(a, b)]
+        elif op == "sub":
+            elements = [Sub(x, y) for x, y in zip(a, b)]
+        else:
+            elements = [Mul(x, y) for x, y in zip(a, b)]
+        return Vec(*elements)
+
+    def _stencil_sum(self) -> Expr:
+        size = self._size(minimum=3)
+        pixels = self._vars("px", size + 2)
+        elements = []
+        for index in range(size):
+            window = pixels[index : index + 3]
+            elements.append(Add(Add(window[0], window[1]), window[2]))
+        return Vec(*elements)
+
+    def _factorable_sum(self) -> Expr:
+        size = self._size()
+        shared = Var(f"w{int(self._rng.integers(0, 4))}")
+        others = self._vars("u", size)
+        terms = [Mul(shared, other) for other in others]
+        return self._sum(terms)
+
+    def _product_chain(self) -> Expr:
+        size = self._size(minimum=3)
+        values = self._vars("z", size)
+        result: Expr = values[0]
+        for value in values[1:]:
+            result = Mul(result, value)
+        return result
+
+    def _mixed_vector(self) -> Expr:
+        size = self._size(minimum=3)
+        a = self._vars("s", size)
+        b = self._vars("t", size)
+        elements: List[Expr] = []
+        for index in range(size):
+            roll = self._rng.random()
+            if roll < 0.5:
+                elements.append(Mul(a[index], b[index]))
+            elif roll < 0.8:
+                elements.append(Add(a[index], b[index]))
+            else:
+                elements.append(Sub(a[index], b[index]))
+        return Vec(*elements)
+
+    def _union_cardinality(self) -> Expr:
+        size = self._size()
+        a = self._vars("bitA", size)
+        b = self._vars("bitB", size)
+        # OR(a, b) = a + b - a*b for 0/1 values; sum the per-bit ORs.
+        terms = [Sub(Add(x, y), Mul(x, y)) for x, y in zip(a, b)]
+        return self._sum(terms)
+
+    def _weighted_sum(self) -> Expr:
+        size = self._size()
+        values = self._vars("v", size)
+        weights = [Const(int(self._rng.integers(1, 6))) for _ in range(size)]
+        return self._sum([Mul(w, v) for w, v in zip(weights, values)])
+
+    def _polynomial(self) -> Expr:
+        degree = int(self._rng.integers(2, 5))
+        x = Var(f"x{int(self._rng.integers(0, 4))}")
+        coefficients = [Const(int(self._rng.integers(1, 6))) for _ in range(degree + 1)]
+        terms: List[Expr] = [coefficients[0]]
+        power: Expr = x
+        for index in range(1, degree + 1):
+            terms.append(Mul(coefficients[index], power))
+            power = Mul(power, x)
+        return self._sum(terms)
+
+    # -- perturbations -----------------------------------------------------------------
+    def _perturb(self, expr: Expr) -> Expr:
+        """Apply cosmetic perturbations that preserve semantics (noise for diversity)."""
+        roll = self._rng.random()
+        if roll < 0.15:
+            return Add(expr, Const(0))
+        if roll < 0.25:
+            return Mul(Const(1), expr)
+        if roll < 0.32 and not isinstance(expr, Vec):
+            return Neg(Neg(expr))
+        return expr
+
+    # -- public API -------------------------------------------------------------------------
+    def generate(self) -> Expr:
+        """One expression drawn from a random motif."""
+        motif = self._motifs[int(self._rng.integers(0, len(self._motifs)))]
+        return self._perturb(motif())
+
+    def generate_many(self, count: int) -> List[Expr]:
+        """Generate ``count`` expressions (duplicates possible; dedup downstream)."""
+        return [self.generate() for _ in range(count)]

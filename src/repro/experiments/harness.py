@@ -1,0 +1,215 @@
+"""Shared experiment machinery.
+
+:class:`BenchmarkRunner` compiles and executes benchmark kernels under any
+number of named compiler configurations and returns one
+:class:`BenchmarkResult` per (kernel, compiler) pair.  Every execution is
+verified against the plaintext reference; mismatches are flagged rather than
+silently reported, so a regression in any compiler path is caught by the
+benchmark harness as well as by the tests.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.compiler.executor import execute
+from repro.compiler.pipeline import CompilationReport, Compiler, CompilerOptions
+from repro.kernels.registry import Benchmark
+from repro.rl.agent import ChehabAgent
+from repro.rl.policy import PolicyConfig
+from repro.rl.ppo import PPOConfig
+from repro.rl.reward import RewardConfig
+
+__all__ = [
+    "BenchmarkResult",
+    "BenchmarkRunner",
+    "geometric_mean",
+    "make_default_agent",
+    "make_agent_compiler",
+]
+
+
+@dataclass
+class BenchmarkResult:
+    """All metrics collected for one (benchmark, compiler) pair."""
+
+    benchmark: str
+    compiler: str
+    compile_time_s: float
+    execution_latency_ms: float
+    consumed_noise_budget: float
+    remaining_noise_budget: float
+    noise_budget_exhausted: bool
+    correct: bool
+    depth: int
+    mult_depth: int
+    ct_ct_multiplications: int
+    ct_pt_multiplications: int
+    rotations: int
+    additions: int
+    subtractions: int
+    total_operations: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0 values are clamped to a tiny epsilon)."""
+    if not values:
+        return 0.0
+    total = 0.0
+    for value in values:
+        total += math.log(max(float(value), 1e-12))
+    return math.exp(total / len(values))
+
+
+class BenchmarkRunner:
+    """Compile + execute + verify benchmark kernels under several compilers."""
+
+    def __init__(self, compilers: Mapping[str, object], input_seed: int = 0) -> None:
+        """``compilers`` maps a label to an object with ``compile_expression``."""
+        if not compilers:
+            raise ValueError("BenchmarkRunner needs at least one compiler")
+        self.compilers = dict(compilers)
+        self.input_seed = input_seed
+
+    def run_benchmark(self, benchmark: Benchmark) -> List[BenchmarkResult]:
+        """Run every configured compiler on one benchmark."""
+        results: List[BenchmarkResult] = []
+        expr = benchmark.expression()
+        inputs = benchmark.sample_inputs(seed=self.input_seed)
+        reference = benchmark.reference(inputs)
+        for label, compiler in self.compilers.items():
+            report: CompilationReport = compiler.compile_expression(expr, name=benchmark.name)
+            execution = execute(report.circuit, inputs)
+            output = next(iter(execution.outputs.values())) if execution.outputs else []
+            correct = list(output) == list(reference)
+            stats = report.stats
+            results.append(
+                BenchmarkResult(
+                    benchmark=benchmark.name,
+                    compiler=label,
+                    compile_time_s=report.compile_time_s,
+                    execution_latency_ms=execution.latency_ms,
+                    consumed_noise_budget=execution.consumed_noise_budget,
+                    remaining_noise_budget=execution.remaining_noise_budget,
+                    noise_budget_exhausted=execution.noise_budget_exhausted,
+                    correct=correct,
+                    depth=stats.depth,
+                    mult_depth=stats.mult_depth,
+                    ct_ct_multiplications=stats.ct_ct_multiplications,
+                    ct_pt_multiplications=stats.ct_pt_multiplications,
+                    rotations=stats.rotations,
+                    additions=stats.additions,
+                    subtractions=stats.subtractions,
+                    total_operations=stats.total_operations,
+                )
+            )
+        return results
+
+    def run(self, benchmarks: Iterable[Benchmark]) -> List[BenchmarkResult]:
+        """Run every compiler on every benchmark."""
+        results: List[BenchmarkResult] = []
+        for benchmark in benchmarks:
+            results.extend(self.run_benchmark(benchmark))
+        return results
+
+    # -- summaries -------------------------------------------------------------------
+    @staticmethod
+    def summarize_ratio(
+        results: Sequence[BenchmarkResult],
+        metric: str,
+        numerator: str,
+        denominator: str,
+    ) -> float:
+        """Geometric-mean ratio ``numerator/denominator`` of ``metric``.
+
+        This is how the paper reports "Coyote / CHEHAB RL" factors (e.g. the
+        5.3× execution-time speedup): per-benchmark ratios, then the
+        geometric mean.
+        """
+        by_benchmark: Dict[str, Dict[str, float]] = {}
+        for result in results:
+            by_benchmark.setdefault(result.benchmark, {})[result.compiler] = float(
+                getattr(result, metric)
+            )
+        ratios: List[float] = []
+        for values in by_benchmark.values():
+            if numerator in values and denominator in values and values[denominator] > 0:
+                ratios.append(max(values[numerator], 1e-12) / values[denominator])
+        return geometric_mean(ratios)
+
+
+def make_agent_compiler(
+    agent: ChehabAgent,
+    layout_before_encryption: bool = True,
+) -> Compiler:
+    """Wrap a trained agent in a Compiler (the CHEHAB RL configuration)."""
+    return Compiler(
+        CompilerOptions(
+            optimizer=agent,
+            layout_before_encryption=layout_before_encryption,
+            cost_model=agent.reward_config.cost_model,
+        )
+    )
+
+
+@lru_cache(maxsize=8)
+def _cached_agent(
+    train_timesteps: int,
+    dataset_size: int,
+    seed: int,
+    use_random_data: bool,
+    use_terminal_reward: bool,
+) -> ChehabAgent:
+    from repro.datagen import RandomExpressionGenerator, SyntheticKernelGenerator, build_dataset
+    from repro.ir.tokenize import ICITokenizer
+    from repro.kernels.registry import benchmark_suite
+
+    tokenizer = ICITokenizer(max_length=96)
+    if use_random_data:
+        generator = RandomExpressionGenerator(max_depth=4, max_vector_size=4, seed=seed)
+    else:
+        generator = SyntheticKernelGenerator(seed=seed, max_size=6)
+    benchmarks = [b.expression() for b in benchmark_suite(include_deep_trees=False)]
+    dataset = build_dataset(generator, dataset_size, benchmarks=benchmarks)
+    reward = RewardConfig(use_terminal_reward=use_terminal_reward)
+    agent = ChehabAgent(
+        policy_config=PolicyConfig.small(vocab_size=tokenizer.vocab_size, max_tokens=96, seed=seed),
+        reward_config=reward,
+        max_steps=25,
+    )
+    agent.tokenizer = tokenizer
+    if train_timesteps > 0 and len(dataset) > 0:
+        agent.train(
+            list(dataset),
+            total_timesteps=train_timesteps,
+            num_envs=2,
+            ppo_config=PPOConfig.small(seed=seed),
+            seed=seed,
+        )
+    return agent
+
+
+def make_default_agent(
+    train_timesteps: int = 512,
+    dataset_size: int = 64,
+    seed: int = 0,
+    use_random_data: bool = False,
+    use_terminal_reward: bool = True,
+) -> ChehabAgent:
+    """A (small, briefly trained) CHEHAB RL agent for the experiment harness.
+
+    The configuration is the scaled-down counterpart of the paper's 2M-step
+    training run; raise ``train_timesteps`` and ``dataset_size`` to approach
+    the full-scale setup.  Agents are cached per configuration so repeated
+    harness invocations in one process reuse the same trained policy.
+    """
+    return _cached_agent(
+        int(train_timesteps), int(dataset_size), int(seed), bool(use_random_data), bool(use_terminal_reward)
+    )

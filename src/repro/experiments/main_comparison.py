@@ -1,0 +1,78 @@
+"""The main comparison: CHEHAB RL vs Coyote (Figs. 5, 6 and 7).
+
+Runs the benchmark suite under the trained RL agent (plugged into the
+CHEHAB compiler pipeline) and under the Coyote-style baseline, and reports
+the three headline metrics per benchmark plus the geometric-mean factors the
+paper quotes: execution time (5.3× in the paper), compilation time (27.9×)
+and consumed noise budget (2.54×).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.coyote import CoyoteCompiler
+from repro.experiments.harness import (
+    BenchmarkResult,
+    BenchmarkRunner,
+    make_agent_compiler,
+    make_default_agent,
+)
+from repro.experiments.reporting import series_by_compiler
+from repro.kernels.registry import Benchmark, small_benchmark_suite
+
+__all__ = ["MainComparisonResult", "run_main_comparison"]
+
+CHEHAB_RL = "CHEHAB RL"
+COYOTE = "Coyote"
+
+
+@dataclass
+class MainComparisonResult:
+    """Raw per-benchmark results plus the figure series and summary factors."""
+
+    results: List[BenchmarkResult]
+    #: Fig. 5 series: execution latency (ms) per benchmark per compiler.
+    execution_time_series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Fig. 6 series: compilation time (s) per benchmark per compiler.
+    compile_time_series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Fig. 7 series: consumed noise budget (bits) per benchmark per compiler.
+    noise_series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Geometric-mean factors (Coyote / CHEHAB RL); > 1 means CHEHAB RL wins.
+    execution_speedup: float = 0.0
+    compile_speedup: float = 0.0
+    noise_reduction: float = 0.0
+
+    @property
+    def all_correct(self) -> bool:
+        return all(result.correct for result in self.results if not result.noise_budget_exhausted)
+
+
+def run_main_comparison(
+    benchmarks: Optional[Sequence[Benchmark]] = None,
+    train_timesteps: int = 512,
+    input_seed: int = 0,
+) -> MainComparisonResult:
+    """Run the CHEHAB RL vs Coyote comparison and summarise it."""
+    benchmarks = list(benchmarks) if benchmarks is not None else small_benchmark_suite()
+    agent = make_default_agent(train_timesteps=train_timesteps)
+    runner = BenchmarkRunner(
+        {CHEHAB_RL: make_agent_compiler(agent), COYOTE: CoyoteCompiler()},
+        input_seed=input_seed,
+    )
+    results = runner.run(benchmarks)
+    comparison = MainComparisonResult(results=results)
+    comparison.execution_time_series = series_by_compiler(results, "execution_latency_ms")
+    comparison.compile_time_series = series_by_compiler(results, "compile_time_s")
+    comparison.noise_series = series_by_compiler(results, "consumed_noise_budget")
+    comparison.execution_speedup = runner.summarize_ratio(
+        results, "execution_latency_ms", COYOTE, CHEHAB_RL
+    )
+    comparison.compile_speedup = runner.summarize_ratio(
+        results, "compile_time_s", COYOTE, CHEHAB_RL
+    )
+    comparison.noise_reduction = runner.summarize_ratio(
+        results, "consumed_noise_budget", COYOTE, CHEHAB_RL
+    )
+    return comparison

@@ -1,0 +1,82 @@
+"""Reporting helpers: text tables, CSV output and per-figure series."""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+from repro.experiments.harness import BenchmarkResult
+
+__all__ = ["results_to_rows", "format_table", "write_csv", "series_by_compiler"]
+
+
+def results_to_rows(results: Sequence[BenchmarkResult]) -> List[Dict[str, object]]:
+    """Convert results to plain dictionaries (one row per result)."""
+    return [result.as_dict() for result in results]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str], title: str = ""
+) -> str:
+    """Format rows as a fixed-width text table."""
+    widths = {column: len(column) for column in columns}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                text = f"{value:.3f}"
+            else:
+                text = str(value)
+            widths[column] = max(widths[column], len(text))
+            rendered.append(text)
+        rendered_rows.append(rendered)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for rendered in rendered_rows:
+        lines.append(
+            "  ".join(text.ljust(widths[column]) for text, column in zip(rendered, columns))
+        )
+    return "\n".join(lines)
+
+
+def write_csv(
+    rows: Sequence[Mapping[str, object]],
+    path: Union[str, os.PathLike],
+    columns: Sequence[str] = (),
+) -> None:
+    """Write rows to a CSV file (creating parent directories)."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("cannot write an empty CSV")
+    columns = list(columns) if columns else list(rows[0].keys())
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(os.fspath(path), "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def series_by_compiler(
+    results: Sequence[BenchmarkResult], metric: str
+) -> Dict[str, Dict[str, float]]:
+    """Per-compiler series ``{compiler: {benchmark: value}}`` for one metric.
+
+    This is the data behind the paper's per-benchmark bar plots (Figs. 5-9,
+    12): one series per compiler, one point per benchmark.
+    """
+    series: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        series.setdefault(result.compiler, {})[result.benchmark] = float(
+            getattr(result, metric)
+        )
+    return series

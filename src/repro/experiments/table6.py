@@ -1,0 +1,54 @@
+"""Table 6: per-benchmark operation counts and depths under four configurations.
+
+The four columns of the paper's Table 6:
+
+1. **Initial** -- the naive scalar lowering (no optimization);
+2. **CHEHAB RL** -- the trained agent inside the CHEHAB pipeline, with the
+   input data layout transformed before encryption;
+3. **Coyote** -- the Coyote-style baseline;
+4. **CHEHAB RL (layout after encryption)** -- the ablation column where the
+   packed-input layout is assembled homomorphically after encryption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.coyote import CoyoteCompiler
+from repro.baselines.scalar import ScalarCompiler
+from repro.experiments.harness import (
+    BenchmarkResult,
+    BenchmarkRunner,
+    make_agent_compiler,
+    make_default_agent,
+)
+from repro.kernels.registry import Benchmark, small_benchmark_suite
+
+__all__ = ["TABLE6_CONFIGURATIONS", "run_table6"]
+
+TABLE6_CONFIGURATIONS = (
+    "Initial",
+    "CHEHAB RL",
+    "Coyote",
+    "CHEHAB RL (layout after encryption)",
+)
+
+
+def run_table6(
+    benchmarks: Optional[Sequence[Benchmark]] = None,
+    train_timesteps: int = 512,
+    input_seed: int = 0,
+) -> List[BenchmarkResult]:
+    """Collect the Table 6 rows for every benchmark and configuration."""
+    benchmarks = list(benchmarks) if benchmarks is not None else small_benchmark_suite()
+    agent = make_default_agent(train_timesteps=train_timesteps)
+    compilers: Dict[str, object] = {
+        "Initial": ScalarCompiler(),
+        "CHEHAB RL": make_agent_compiler(agent, layout_before_encryption=True),
+        "Coyote": CoyoteCompiler(),
+        "CHEHAB RL (layout after encryption)": make_agent_compiler(
+            agent, layout_before_encryption=False
+        ),
+    }
+    runner = BenchmarkRunner(compilers, input_seed=input_seed)
+    return runner.run(benchmarks)

@@ -1,0 +1,60 @@
+"""A BFV-style fully homomorphic encryption *simulator*.
+
+This package stands in for Microsoft SEAL in the reproduction.  It models
+exactly the aspects of BFV the paper's evaluation depends on:
+
+* **batching** -- a plaintext/ciphertext packs ``n`` integer slots (mod the
+  plaintext modulus ``t``) and every arithmetic operation is slot-wise;
+* **operations** -- addition, subtraction, negation, ciphertext-ciphertext
+  and ciphertext-plaintext multiplication, squaring and cyclic slot
+  rotation, with Galois (rotation) keys required per rotation step;
+* **noise budget** -- a freshly encrypted ciphertext starts with an
+  ``initial_noise_budget`` (in bits) derived from the coefficient and
+  plaintext moduli, and every operation consumes part of it; a circuit that
+  exhausts the budget fails, as in SEAL;
+* **latency** -- a per-operation latency model calibrated to the relative
+  costs of BFV operations (add ≪ rotate ≤ ct-pt mul < ct-ct mul), used to
+  report simulated execution times;
+* **rotation-key selection** -- the NAF-based key selection pass of the
+  paper's Appendix B.
+
+The arithmetic is performed exactly (vectors of Python ints / numpy int64
+mod ``t``), so compiled circuits can be *verified for correctness* against a
+plaintext reference — which is how the test suite checks that every rewrite
+rule and every compiler pass is semantics preserving.
+"""
+
+from repro.fhe.params import BFVParameters, default_coeff_modulus_bits
+from repro.fhe.ciphertext import Ciphertext, Plaintext
+from repro.fhe.encoder import BatchEncoder
+from repro.fhe.keys import GaloisKeys, KeyGenerator, PublicKey, RelinKeys, SecretKey
+from repro.fhe.noise import NoiseModel
+from repro.fhe.latency import LatencyModel
+from repro.fhe.evaluator import Decryptor, Encryptor, Evaluator, FHEContext
+from repro.fhe.rotation_keys import (
+    RotationKeyPlan,
+    naf_decomposition,
+    select_rotation_keys,
+)
+
+__all__ = [
+    "BFVParameters",
+    "default_coeff_modulus_bits",
+    "Plaintext",
+    "Ciphertext",
+    "BatchEncoder",
+    "SecretKey",
+    "PublicKey",
+    "RelinKeys",
+    "GaloisKeys",
+    "KeyGenerator",
+    "NoiseModel",
+    "LatencyModel",
+    "FHEContext",
+    "Encryptor",
+    "Decryptor",
+    "Evaluator",
+    "RotationKeyPlan",
+    "naf_decomposition",
+    "select_rotation_keys",
+]

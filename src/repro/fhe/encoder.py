@@ -1,0 +1,62 @@
+"""Batching encoder: packs integer vectors into plaintext slots.
+
+Mirrors SEAL's ``BatchEncoder``: a vector of up to ``n`` integers is encoded
+into a single plaintext whose CRT slots hold the values modulo ``t``.  Short
+vectors are zero-padded; negative values wrap modulo ``t`` and decode back to
+centred representatives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import InvalidParameters
+from repro.fhe.ciphertext import Plaintext
+from repro.fhe.params import BFVParameters
+
+__all__ = ["BatchEncoder"]
+
+
+class BatchEncoder:
+    """Encodes/decodes integer vectors to/from batched plaintexts."""
+
+    def __init__(self, params: BFVParameters) -> None:
+        if not params.supports_batching():
+            raise InvalidParameters(
+                "plain_modulus must satisfy t ≡ 1 (mod 2n) to enable batching"
+            )
+        self.params = params
+
+    @property
+    def slot_count(self) -> int:
+        """Number of available slots (the ring dimension ``n``)."""
+        return self.params.slot_count
+
+    def encode(self, values: Sequence[int]) -> Plaintext:
+        """Encode ``values`` (length ≤ ``slot_count``) into a plaintext."""
+        values = list(values)
+        if len(values) > self.slot_count:
+            raise ValueError(
+                f"cannot encode {len(values)} values into {self.slot_count} slots"
+            )
+        padded = values + [0] * (self.slot_count - len(values))
+        return Plaintext(padded, self.params.plain_modulus)
+
+    def encode_scalar(self, value: int) -> Plaintext:
+        """Encode a scalar replicated into every slot (SEAL-style broadcast)."""
+        return Plaintext(
+            [int(value)] * self.slot_count, self.params.plain_modulus
+        )
+
+    def decode(self, plaintext: Plaintext, count: int | None = None) -> List[int]:
+        """Decode a plaintext back to centred integer representatives.
+
+        ``count`` limits how many leading slots are returned.
+        """
+        t = self.params.plain_modulus
+        half = t // 2
+        raw = plaintext.slots if count is None else plaintext.slots[:count]
+        centred = np.where(raw > half, raw - t, raw)
+        return [int(value) for value in centred]

@@ -1,0 +1,296 @@
+"""Encryptor, decryptor and evaluator of the simulated BFV scheme.
+
+The API mirrors Microsoft SEAL's so compiled circuits read naturally:
+
+.. code-block:: python
+
+    context = FHEContext(BFVParameters.default())
+    ct_a = context.encryptor.encrypt(context.encoder.encode([1, 2, 3]))
+    ct_b = context.encryptor.encrypt(context.encoder.encode([4, 5, 6]))
+    ct_c = context.evaluator.add(ct_a, ct_b)
+    context.decryptor.invariant_noise_budget(ct_c)   # remaining budget, bits
+    context.encoder.decode(context.decryptor.decrypt(ct_c), 3)  # [5, 7, 9]
+
+Every operation updates the result's noise budget according to the
+:class:`~repro.fhe.noise.NoiseModel` and accumulates simulated latency in the
+evaluator's :class:`OperationLog`, which the experiment harness uses to
+report execution times, operation counts and consumed noise budget.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.exceptions import NoiseBudgetExhausted, RotationKeyMissing
+from repro.fhe.ciphertext import Ciphertext, Plaintext
+from repro.fhe.encoder import BatchEncoder
+from repro.fhe.keys import GaloisKeys, KeyGenerator, PublicKey, RelinKeys, SecretKey
+from repro.fhe.latency import LatencyModel
+from repro.fhe.noise import NoiseModel
+from repro.fhe.params import BFVParameters
+
+__all__ = ["OperationLog", "FHEContext", "Encryptor", "Decryptor", "Evaluator"]
+
+
+@dataclass
+class OperationLog:
+    """Accumulates operation counts and simulated latency for one execution."""
+
+    counts: Counter = field(default_factory=Counter)
+    total_latency_ms: float = 0.0
+
+    def record(self, operation: str, latency_ms: float) -> None:
+        self.counts[operation] += 1
+        self.total_latency_ms += latency_ms
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self.total_latency_ms = 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+
+class FHEContext:
+    """Bundles parameters, keys, encoder and evaluator for one computation."""
+
+    def __init__(
+        self,
+        params: Optional[BFVParameters] = None,
+        galois_steps: Optional[List[int]] = None,
+        strict_noise: bool = False,
+    ) -> None:
+        self.params = params if params is not None else BFVParameters.default()
+        self.noise_model = NoiseModel(self.params)
+        self.latency_model = LatencyModel(self.params)
+        self.encoder = BatchEncoder(self.params)
+        self.keygen = KeyGenerator(self.params)
+        self.secret_key: SecretKey = self.keygen.secret_key()
+        self.public_key: PublicKey = self.keygen.create_public_key()
+        self.relin_keys: RelinKeys = self.keygen.create_relin_keys()
+        self.galois_keys: GaloisKeys = self.keygen.create_galois_keys(galois_steps)
+        self.encryptor = Encryptor(self)
+        self.decryptor = Decryptor(self)
+        self.evaluator = Evaluator(self, strict_noise=strict_noise)
+
+    @property
+    def slot_count(self) -> int:
+        return self.params.slot_count
+
+
+class Encryptor:
+    """Encrypts plaintexts (or raw integer vectors) into ciphertexts."""
+
+    def __init__(self, context: FHEContext) -> None:
+        self._context = context
+
+    def encrypt(self, plaintext: Plaintext) -> Ciphertext:
+        """Encrypt ``plaintext`` into a fresh ciphertext with full budget."""
+        params = self._context.params
+        return Ciphertext(
+            plaintext.slots.copy(),
+            params.plain_modulus,
+            noise_budget=params.initial_noise_budget,
+        )
+
+    def encrypt_values(self, values: List[int]) -> Ciphertext:
+        """Encode and encrypt a raw integer vector in one call."""
+        return self.encrypt(self._context.encoder.encode(values))
+
+
+class Decryptor:
+    """Decrypts ciphertexts and reports their remaining noise budget."""
+
+    def __init__(self, context: FHEContext) -> None:
+        self._context = context
+
+    def decrypt(self, ciphertext: Ciphertext) -> Plaintext:
+        """Decrypt ``ciphertext``.
+
+        Raises :class:`NoiseBudgetExhausted` when the budget is zero or
+        negative, mirroring SEAL's decryption failure.
+        """
+        if ciphertext.noise_budget <= 0.0:
+            raise NoiseBudgetExhausted(
+                "noise budget exhausted; decryption would be incorrect",
+                consumed_bits=self._context.params.initial_noise_budget,
+            )
+        return Plaintext(ciphertext.slots.copy(), ciphertext.plain_modulus)
+
+    def invariant_noise_budget(self, ciphertext: Ciphertext) -> float:
+        """Remaining invariant noise budget in bits (clamped at zero)."""
+        return max(0.0, ciphertext.noise_budget)
+
+    def consumed_noise_budget(self, ciphertext: Ciphertext) -> float:
+        """Noise budget consumed so far (initial minus remaining)."""
+        initial = self._context.params.initial_noise_budget
+        return initial - self.invariant_noise_budget(ciphertext)
+
+
+class Evaluator:
+    """Homomorphic operations with noise and latency accounting."""
+
+    def __init__(self, context: FHEContext, strict_noise: bool = False) -> None:
+        self._context = context
+        #: When True, operations raise as soon as the budget is exhausted;
+        #: otherwise the budget simply clamps at zero and decryption fails.
+        self.strict_noise = strict_noise
+        self.log = OperationLog()
+
+    # -- helpers -------------------------------------------------------------
+    @property
+    def _noise(self) -> NoiseModel:
+        return self._context.noise_model
+
+    @property
+    def _latency(self) -> LatencyModel:
+        return self._context.latency_model
+
+    def _result(
+        self,
+        slots: np.ndarray,
+        noise_budget: float,
+        operation: str,
+        size: int = 2,
+        mult_count: int = 0,
+    ) -> Ciphertext:
+        if self.strict_noise and noise_budget <= 0.0:
+            raise NoiseBudgetExhausted(
+                f"noise budget exhausted during {operation}",
+                consumed_bits=self._context.params.initial_noise_budget,
+            )
+        self.log.record(operation, self._latency.cost_ms(operation))
+        return Ciphertext(
+            slots,
+            self._context.params.plain_modulus,
+            noise_budget=noise_budget,
+            size=size,
+            mult_count=mult_count,
+        )
+
+    @staticmethod
+    def _min_budget(*ciphertexts: Ciphertext) -> float:
+        return min(ct.noise_budget for ct in ciphertexts)
+
+    # -- arithmetic ----------------------------------------------------------
+    def add(self, lhs: Ciphertext, rhs: Ciphertext) -> Ciphertext:
+        """Slot-wise ciphertext addition."""
+        budget = self._min_budget(lhs, rhs) - self._noise.add_cost()
+        return self._result(
+            lhs.slots + rhs.slots,
+            budget,
+            "add",
+            mult_count=max(lhs.mult_count, rhs.mult_count),
+        )
+
+    def sub(self, lhs: Ciphertext, rhs: Ciphertext) -> Ciphertext:
+        """Slot-wise ciphertext subtraction."""
+        budget = self._min_budget(lhs, rhs) - self._noise.add_cost()
+        return self._result(
+            lhs.slots - rhs.slots,
+            budget,
+            "sub",
+            mult_count=max(lhs.mult_count, rhs.mult_count),
+        )
+
+    def negate(self, operand: Ciphertext) -> Ciphertext:
+        """Slot-wise negation."""
+        budget = operand.noise_budget - self._noise.negate_cost()
+        return self._result(
+            -operand.slots, budget, "negate", mult_count=operand.mult_count
+        )
+
+    def add_plain(self, lhs: Ciphertext, plain: Plaintext) -> Ciphertext:
+        """Add a plaintext to a ciphertext."""
+        budget = lhs.noise_budget - self._noise.add_cost()
+        return self._result(
+            lhs.slots + plain.slots, budget, "add", mult_count=lhs.mult_count
+        )
+
+    def sub_plain(self, lhs: Ciphertext, plain: Plaintext) -> Ciphertext:
+        """Subtract a plaintext from a ciphertext."""
+        budget = lhs.noise_budget - self._noise.add_cost()
+        return self._result(
+            lhs.slots - plain.slots, budget, "sub", mult_count=lhs.mult_count
+        )
+
+    def multiply(self, lhs: Ciphertext, rhs: Ciphertext) -> Ciphertext:
+        """Ciphertext-ciphertext multiplication (grows ciphertext size)."""
+        budget = self._min_budget(lhs, rhs) - self._noise.multiply_cost()
+        return self._result(
+            lhs.slots * rhs.slots,
+            budget,
+            "multiply",
+            size=lhs.size + rhs.size - 1,
+            mult_count=max(lhs.mult_count, rhs.mult_count) + 1,
+        )
+
+    def square(self, operand: Ciphertext) -> Ciphertext:
+        """Ciphertext squaring (cheaper than a generic multiplication)."""
+        budget = operand.noise_budget - self._noise.square_cost()
+        return self._result(
+            operand.slots * operand.slots,
+            budget,
+            "square",
+            size=operand.size + 1,
+            mult_count=operand.mult_count + 1,
+        )
+
+    def multiply_plain(self, lhs: Ciphertext, plain: Plaintext) -> Ciphertext:
+        """Ciphertext-plaintext multiplication.
+
+        SEAL raises on transparent (all-zero) plaintext multiplications; the
+        simulator accepts them but still charges the noise cost, which is the
+        behaviour compilers rely on when masking.
+        """
+        budget = lhs.noise_budget - self._noise.multiply_plain_cost()
+        return self._result(
+            lhs.slots * plain.slots,
+            budget,
+            "multiply_plain",
+            mult_count=lhs.mult_count,
+        )
+
+    def relinearize(self, operand: Ciphertext, relin_keys: Optional[RelinKeys] = None) -> Ciphertext:
+        """Shrink a size-3 ciphertext back to size 2."""
+        if relin_keys is None:
+            relin_keys = self._context.relin_keys
+        budget = operand.noise_budget - self._noise.relinearize_cost()
+        return self._result(
+            operand.slots.copy(),
+            budget,
+            "relinearize",
+            size=2,
+            mult_count=operand.mult_count,
+        )
+
+    def rotate(
+        self,
+        operand: Ciphertext,
+        step: int,
+        galois_keys: Optional[GaloisKeys] = None,
+    ) -> Ciphertext:
+        """Cyclic left rotation of the slot vector by ``step``.
+
+        Negative steps rotate right.  Raises
+        :class:`~repro.core.exceptions.RotationKeyMissing` when no Galois key
+        was generated for ``step``.
+        """
+        if galois_keys is None:
+            galois_keys = self._context.galois_keys
+        if step == 0:
+            return operand.copy()
+        if not galois_keys.supports(step):
+            raise RotationKeyMissing(step)
+        budget = operand.noise_budget - self._noise.rotate_cost(step)
+        rotated = np.roll(operand.slots, -step)
+        return self._result(rotated, budget, "rotate", mult_count=operand.mult_count)
+
+    # -- reporting -----------------------------------------------------------
+    def reset_log(self) -> None:
+        """Clear accumulated operation counts and latency."""
+        self.log.reset()

@@ -1,0 +1,130 @@
+"""Key material of the simulated BFV scheme.
+
+The simulator does not perform lattice cryptography, but it models the key
+*objects* and their operational constraints:
+
+* a :class:`SecretKey` / :class:`PublicKey` pair is required to decrypt /
+  encrypt;
+* :class:`RelinKeys` are required to relinearize size-3 ciphertexts after a
+  ciphertext-ciphertext multiplication;
+* :class:`GaloisKeys` hold one key per rotation step; rotating by a step with
+  no generated key raises :class:`~repro.core.exceptions.RotationKeyMissing`,
+  exactly as SEAL would fail.  Each Galois key has a realistic size estimate
+  so the rotation-key-selection pass can reason about generation and
+  transmission cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Set
+
+from repro.fhe.params import BFVParameters
+
+__all__ = ["SecretKey", "PublicKey", "RelinKeys", "GaloisKeys", "KeyGenerator"]
+
+_key_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class SecretKey:
+    """Handle to a secret key."""
+
+    key_id: int
+    params: BFVParameters
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """Handle to a public key derived from a secret key."""
+
+    key_id: int
+    secret_key_id: int
+
+
+@dataclass(frozen=True)
+class RelinKeys:
+    """Relinearization keys for shrinking size-3 ciphertexts back to size 2."""
+
+    key_id: int
+    secret_key_id: int
+
+
+@dataclass
+class GaloisKeys:
+    """Galois (rotation) keys for a set of rotation steps.
+
+    ``steps`` contains the *signed* rotation steps that can be applied
+    directly.  Any other rotation must be decomposed into generated steps
+    (see :mod:`repro.fhe.rotation_keys`).
+    """
+
+    key_id: int
+    secret_key_id: int
+    steps: FrozenSet[int] = field(default_factory=frozenset)
+    #: Approximate size of a single Galois key in bytes (several megabytes in
+    #: practice); used by the key-selection pass to report transmission cost.
+    bytes_per_key: int = 3 * 1024 * 1024
+
+    def supports(self, step: int) -> bool:
+        """Whether a rotation by ``step`` can be applied with these keys."""
+        return step == 0 or step in self.steps
+
+    @property
+    def key_count(self) -> int:
+        return len(self.steps)
+
+    @property
+    def total_bytes(self) -> int:
+        """Estimated total size of the generated keys."""
+        return self.key_count * self.bytes_per_key
+
+
+class KeyGenerator:
+    """Generates the key material for a parameter set (mirrors SEAL's API)."""
+
+    def __init__(self, params: BFVParameters) -> None:
+        self.params = params
+        self._secret_key = SecretKey(key_id=next(_key_counter), params=params)
+
+    def secret_key(self) -> SecretKey:
+        """The secret key of this generator."""
+        return self._secret_key
+
+    def create_public_key(self) -> PublicKey:
+        """Create a public key bound to the secret key."""
+        return PublicKey(
+            key_id=next(_key_counter), secret_key_id=self._secret_key.key_id
+        )
+
+    def create_relin_keys(self) -> RelinKeys:
+        """Create relinearization keys."""
+        return RelinKeys(
+            key_id=next(_key_counter), secret_key_id=self._secret_key.key_id
+        )
+
+    def create_galois_keys(self, steps: Optional[Iterable[int]] = None) -> GaloisKeys:
+        """Create Galois keys for ``steps``.
+
+        When ``steps`` is ``None`` the SEAL default is used: keys for
+        ``±2^k`` up to the slot count, i.e. ``2*log2(n)`` keys.
+        """
+        if steps is None:
+            steps = self.default_galois_steps()
+        step_set: Set[int] = {int(step) for step in steps if int(step) != 0}
+        return GaloisKeys(
+            key_id=next(_key_counter),
+            secret_key_id=self._secret_key.key_id,
+            steps=frozenset(step_set),
+        )
+
+    def default_galois_steps(self) -> FrozenSet[int]:
+        """The default power-of-two step set (``2*log2(n)`` keys)."""
+        steps: Set[int] = set()
+        power = 1
+        while power < self.params.slot_count:
+            steps.add(power)
+            steps.add(-power)
+            power *= 2
+        return frozenset(steps)

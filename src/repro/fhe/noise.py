@@ -1,0 +1,92 @@
+"""Noise-budget model of the simulated BFV scheme.
+
+BFV encryption adds noise for security; every homomorphic operation grows
+that noise, and once it exceeds the bound permitted by ``q``/``t`` the
+ciphertext no longer decrypts correctly.  SEAL exposes the *remaining
+invariant noise budget* in bits; the paper reports the *consumed* budget
+(initial minus remaining) per benchmark.
+
+The model below captures the qualitative behaviour that drives the paper's
+results:
+
+* ciphertext-ciphertext multiplication consumes by far the most budget
+  (roughly ``plain_modulus_bits + log2(n)/2`` bits per multiplication, so
+  noise growth compounds with multiplicative depth);
+* ciphertext-plaintext multiplication consumes a few bits;
+* rotations consume a small, key-dependent amount;
+* additions/subtractions/negations consume a fraction of a bit.
+
+The constants are configurable so the sensitivity of downstream results to
+the noise model can be explored (see ``tests/fhe/test_noise.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fhe.params import BFVParameters
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Per-operation noise-budget consumption (in bits)."""
+
+    params: BFVParameters
+    #: Extra bits consumed by a ct-ct multiplication beyond the plaintext
+    #: modulus contribution.
+    multiply_overhead_bits: float = 6.0
+    #: Bits consumed by a ciphertext-plaintext multiplication.
+    multiply_plain_bits: float = 4.0
+    #: Bits consumed by a rotation (key-switching noise).
+    rotate_bits: float = 1.5
+    #: Bits consumed by an addition or subtraction.
+    add_bits: float = 0.3
+    #: Bits consumed by a negation.
+    negate_bits: float = 0.05
+    #: Bits consumed by relinearization after a multiplication.
+    relinearize_bits: float = 0.5
+
+    @property
+    def initial_budget(self) -> float:
+        """Noise budget of a freshly encrypted ciphertext."""
+        return self.params.initial_noise_budget
+
+    def multiply_cost(self) -> float:
+        """Budget consumed by one ciphertext-ciphertext multiplication."""
+        n = self.params.poly_modulus_degree
+        return (
+            self.params.plain_modulus_bits
+            + 0.5 * math.log2(n)
+            + self.multiply_overhead_bits
+        )
+
+    def square_cost(self) -> float:
+        """Budget consumed by squaring (slightly cheaper than a full multiply)."""
+        return 0.9 * self.multiply_cost()
+
+    def multiply_plain_cost(self, plaintext_is_scalar: bool = False) -> float:
+        """Budget consumed by a ciphertext-plaintext multiplication."""
+        if plaintext_is_scalar:
+            return 0.75 * self.multiply_plain_bits
+        return self.multiply_plain_bits
+
+    def rotate_cost(self, step: int) -> float:
+        """Budget consumed by a rotation by ``step`` (0 is free)."""
+        if step == 0:
+            return 0.0
+        return self.rotate_bits
+
+    def add_cost(self) -> float:
+        """Budget consumed by an addition or subtraction."""
+        return self.add_bits
+
+    def negate_cost(self) -> float:
+        """Budget consumed by a negation."""
+        return self.negate_bits
+
+    def relinearize_cost(self) -> float:
+        """Budget consumed by relinearization."""
+        return self.relinearize_bits

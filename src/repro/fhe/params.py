@@ -1,0 +1,131 @@
+"""BFV encryption parameters.
+
+The parameter triple ``{n, t, q}`` (polynomial modulus degree, plaintext
+modulus, ciphertext/coefficient modulus) defines both the slot count and the
+noise budget available to a circuit.  Defaults follow SEAL's
+``CoeffModulus::BFVDefault`` tables for 128-bit security and the paper's
+evaluation setup (``n = 16384``, 20-bit plaintext modulus, 389-bit total
+coefficient modulus, 369-bit initial noise budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import InvalidParameters
+
+__all__ = ["BFVParameters", "default_coeff_modulus_bits", "default_plain_modulus"]
+
+#: Total coefficient-modulus bit counts recommended by SEAL for 128-bit
+#: security, indexed by polynomial modulus degree.
+_BFV_DEFAULT_COEFF_BITS = {
+    1024: 27,
+    2048: 54,
+    4096: 109,
+    8192: 218,
+    16384: 438,
+    32768: 881,
+}
+
+#: The paper reports a 389-bit coefficient modulus for n = 16384 (SEAL's
+#: BFVDefault drops one prime for the special modulus); we follow the paper.
+_PAPER_COEFF_BITS = {16384: 389}
+
+#: Plaintext moduli supporting batching (t ≡ 1 mod 2n) per degree, ~20 bits.
+_BATCHING_PLAIN_MODULUS = {
+    1024: 12289,
+    2048: 40961,
+    4096: 40961,
+    8192: 65537,
+    16384: 786433,
+    32768: 786433,
+}
+
+
+def default_coeff_modulus_bits(poly_modulus_degree: int) -> int:
+    """Total coefficient modulus bits at 128-bit security for ``n``."""
+    if poly_modulus_degree in _PAPER_COEFF_BITS:
+        return _PAPER_COEFF_BITS[poly_modulus_degree]
+    try:
+        return _BFV_DEFAULT_COEFF_BITS[poly_modulus_degree]
+    except KeyError as exc:
+        raise InvalidParameters(
+            f"no default coefficient modulus for n={poly_modulus_degree}"
+        ) from exc
+
+
+def default_plain_modulus(poly_modulus_degree: int) -> int:
+    """A batching-compatible plaintext modulus (t ≡ 1 mod 2n) for ``n``."""
+    try:
+        return _BATCHING_PLAIN_MODULUS[poly_modulus_degree]
+    except KeyError as exc:
+        raise InvalidParameters(
+            f"no default plaintext modulus for n={poly_modulus_degree}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class BFVParameters:
+    """Encryption parameters of the simulated BFV scheme.
+
+    Attributes
+    ----------
+    poly_modulus_degree:
+        The ring dimension ``n``; also the number of batching slots.
+    plain_modulus:
+        The plaintext modulus ``t``.  Slot values live in ``Z_t``.
+    coeff_modulus_bits:
+        Total bit size of the ciphertext modulus ``q``.  Together with
+        ``t`` this determines the initial noise budget,
+        ``coeff_modulus_bits - plain_modulus_bits``.
+    """
+
+    poly_modulus_degree: int = 16384
+    plain_modulus: int = 786433
+    coeff_modulus_bits: int = 389
+
+    def __post_init__(self) -> None:
+        n = self.poly_modulus_degree
+        if n < 2 or (n & (n - 1)) != 0:
+            raise InvalidParameters(
+                f"poly_modulus_degree must be a power of two >= 2, got {n}"
+            )
+        if self.plain_modulus < 2:
+            raise InvalidParameters("plain_modulus must be at least 2")
+        if self.coeff_modulus_bits <= self.plain_modulus_bits:
+            raise InvalidParameters(
+                "coeff_modulus_bits must exceed the plaintext modulus bit size"
+            )
+
+    # -- derived quantities --------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        """Number of batching slots (equal to ``n``)."""
+        return self.poly_modulus_degree
+
+    @property
+    def plain_modulus_bits(self) -> int:
+        """Bit size of the plaintext modulus."""
+        return max(1, self.plain_modulus.bit_length())
+
+    @property
+    def initial_noise_budget(self) -> float:
+        """Noise budget (bits) of a freshly encrypted ciphertext.
+
+        Matches SEAL's observation in the paper's setup:
+        ``total_coeff_modulus_bits - plain_modulus_bits`` (389 - 20 = 369).
+        """
+        return float(self.coeff_modulus_bits - self.plain_modulus_bits)
+
+    def supports_batching(self) -> bool:
+        """Whether ``t ≡ 1 (mod 2n)`` so CRT batching is available."""
+        return self.plain_modulus % (2 * self.poly_modulus_degree) == 1
+
+    @classmethod
+    def default(cls, poly_modulus_degree: int = 16384) -> "BFVParameters":
+        """Parameters matching the paper's evaluation environment."""
+        return cls(
+            poly_modulus_degree=poly_modulus_degree,
+            plain_modulus=default_plain_modulus(poly_modulus_degree),
+            coeff_modulus_bits=default_coeff_modulus_bits(poly_modulus_degree),
+        )

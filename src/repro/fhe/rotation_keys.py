@@ -1,0 +1,162 @@
+"""Rotation-key selection via non-adjacent-form decomposition (Appendix B).
+
+Each distinct rotation step requires its own Galois key, and keys are several
+megabytes each, so generating one key per step quickly becomes expensive.
+CHEHAB instead selects a bounded set of keys: some rotation steps are kept
+as-is, and the rest are *decomposed* into sums of signed powers of two using
+their non-adjacent form (NAF), e.g. ``3 = 4 - 1`` and ``5 = 4 + 1``.  A
+rotation by a decomposed step is then executed as a short sequence of
+rotations by generated steps.
+
+:func:`select_rotation_keys` reproduces the selection procedure: it greedily
+decomposes the steps whose NAF components are already (or cheaply) covered,
+keeping the final key count within the user bound ``beta`` (default
+``2*log2(n)``), and returns a :class:`RotationKeyPlan` describing which keys
+to generate and how every original step is realised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["naf_decomposition", "RotationKeyPlan", "select_rotation_keys"]
+
+
+def naf_decomposition(step: int) -> List[int]:
+    """Signed power-of-two decomposition of ``step`` in non-adjacent form.
+
+    Returns the list of signed components whose sum equals ``step``; e.g.
+    ``naf_decomposition(3) == [-1, 4]`` and ``naf_decomposition(5) == [1, 4]``.
+    The empty list is returned for ``step == 0``.
+    """
+    value = int(step)
+    sign = 1
+    if value < 0:
+        sign = -1
+        value = -value
+    components: List[int] = []
+    power = 1
+    while value > 0:
+        if value % 2 == 1:
+            remainder = value % 4
+            if remainder == 3:
+                digit = -1
+                value += 1
+            else:
+                digit = 1
+                value -= 1
+            components.append(sign * digit * power)
+        value //= 2
+        power *= 2
+    return sorted(components, key=abs)
+
+
+@dataclass
+class RotationKeyPlan:
+    """The outcome of rotation-key selection.
+
+    Attributes
+    ----------
+    generated_steps:
+        The steps for which Galois keys are generated.
+    decomposed:
+        Maps each original step that was decomposed to the sequence of
+        generated steps whose rotations realise it.
+    direct:
+        The original steps kept without decomposition (a key is generated
+        for each of them).
+    """
+
+    generated_steps: Tuple[int, ...]
+    decomposed: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    direct: Tuple[int, ...] = ()
+
+    @property
+    def key_count(self) -> int:
+        """Number of Galois keys that must be generated."""
+        return len(self.generated_steps)
+
+    def realization(self, step: int) -> Tuple[int, ...]:
+        """The sequence of generated-step rotations that realises ``step``."""
+        if step == 0:
+            return ()
+        if step in self.decomposed:
+            return self.decomposed[step]
+        if step in self.direct or step in self.generated_steps:
+            return (step,)
+        raise KeyError(f"step {step} is not covered by this rotation-key plan")
+
+    def rotation_count(self, step: int) -> int:
+        """Number of physical rotations needed to realise ``step``."""
+        return len(self.realization(step))
+
+
+def select_rotation_keys(
+    steps: Iterable[int],
+    slot_count: int,
+    beta: int | None = None,
+) -> RotationKeyPlan:
+    """Select which Galois keys to generate for the rotation steps ``steps``.
+
+    Parameters
+    ----------
+    steps:
+        The distinct rotation steps used by the program (non-zero).
+    slot_count:
+        The ring dimension ``n``; the default bound ``beta`` is
+        ``2*log2(n)``.
+    beta:
+        Maximum number of keys to generate.  ``None`` uses the default.
+
+    The algorithm follows Appendix B: compute the NAF decomposition of every
+    step, then greedily move steps into the "decomposed" set Ω, preferring
+    steps whose NAF components are shared by many other steps, until the
+    number of keys — direct steps plus the union of NAF components of Ω —
+    fits within ``beta``.  If even full decomposition cannot satisfy
+    ``beta``, the plan with every step decomposed is returned (its key count
+    is the power-of-two basis, which is the minimum achievable).
+    """
+    unique_steps = sorted({int(s) for s in steps if int(s) != 0}, key=abs)
+    if beta is None:
+        beta = 2 * max(1, (slot_count - 1).bit_length())
+    if beta < 1:
+        raise ValueError("beta must be at least 1")
+
+    decompositions: Dict[int, Tuple[int, ...]] = {
+        step: tuple(naf_decomposition(step)) for step in unique_steps
+    }
+
+    # Start with every step direct; decompose greedily until within budget.
+    direct: Set[int] = set(unique_steps)
+    decomposed: Set[int] = set()
+
+    def key_set() -> Set[int]:
+        keys = set(direct)
+        for step in decomposed:
+            keys.update(decompositions[step])
+        return keys
+
+    # Steps that are already powers of two gain nothing from decomposition.
+    def decomposition_gain(step: int, current_keys: Set[int]) -> int:
+        components = set(decompositions[step])
+        new_keys = components - (current_keys - {step})
+        # Gain: removing the step's own key minus any new component keys.
+        return 1 - len(new_keys - {step})
+
+    while len(key_set()) > beta:
+        current = key_set()
+        candidates = [step for step in direct if len(decompositions[step]) > 1]
+        if not candidates:
+            break
+        best = max(candidates, key=lambda step: (decomposition_gain(step, current), abs(step)))
+        direct.discard(best)
+        decomposed.add(best)
+
+    generated = sorted(key_set(), key=abs)
+    plan = RotationKeyPlan(
+        generated_steps=tuple(generated),
+        decomposed={step: decompositions[step] for step in sorted(decomposed, key=abs)},
+        direct=tuple(sorted(direct, key=abs)),
+    )
+    return plan

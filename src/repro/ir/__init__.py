@@ -1,0 +1,97 @@
+"""Expression intermediate representation (IR) for the CHEHAB RL reproduction.
+
+The IR mirrors the CHEHAB compiler's term representation: a small, closed
+vocabulary of scalar arithmetic operators (``+``, ``-``, ``*``, unary ``-``),
+slot rotations (``<<``), a vector constructor (``Vec``) and element-wise
+vector operators (``VecAdd``, ``VecSub``, ``VecMul``, ``VecNeg``).
+
+The package provides:
+
+* :mod:`repro.ir.nodes` -- typed, immutable expression nodes with structural
+  equality and hashing.
+* :mod:`repro.ir.parser` / :mod:`repro.ir.printer` -- the textual
+  s-expression form used throughout the paper (e.g. ``(Vec (+ a b) (* c d))``).
+* :mod:`repro.ir.analysis` -- circuit depth, multiplicative depth, operation
+  counts and related static analyses.
+* :mod:`repro.ir.pattern` -- pattern matching and substitution used by the
+  term rewriting system.
+* :mod:`repro.ir.dag` -- conversion of the expression tree into a dataflow
+  DAG (hash-consing), used for common-subexpression analysis.
+* :mod:`repro.ir.tokenize` -- the Identifier and Constant Invariant (ICI)
+  tokenizer and canonical form (Sec. 5.1 of the paper).
+* :mod:`repro.ir.bpe` -- a Byte-Pair-Encoding tokenizer baseline used by the
+  tokenization ablation.
+"""
+
+from repro.ir.nodes import (
+    Add,
+    Const,
+    Expr,
+    Mul,
+    Neg,
+    Rotate,
+    Sub,
+    Var,
+    Vec,
+    VecAdd,
+    VecMul,
+    VecNeg,
+    VecSub,
+)
+from repro.ir.parser import ParseError, parse
+from repro.ir.printer import to_sexpr
+from repro.ir.analysis import (
+    OpCounts,
+    circuit_depth,
+    count_ops,
+    expression_size,
+    multiplicative_depth,
+    rotation_steps,
+    variables,
+)
+from repro.ir.pattern import (
+    MatchResult,
+    PatternVar,
+    find_matches,
+    get_at,
+    match,
+    replace_at,
+    substitute,
+)
+from repro.ir.tokenize import ICITokenizer, Vocabulary, canonical_form
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Add",
+    "Sub",
+    "Mul",
+    "Neg",
+    "Rotate",
+    "Vec",
+    "VecAdd",
+    "VecSub",
+    "VecMul",
+    "VecNeg",
+    "parse",
+    "ParseError",
+    "to_sexpr",
+    "OpCounts",
+    "circuit_depth",
+    "multiplicative_depth",
+    "count_ops",
+    "expression_size",
+    "rotation_steps",
+    "variables",
+    "PatternVar",
+    "MatchResult",
+    "match",
+    "substitute",
+    "find_matches",
+    "get_at",
+    "replace_at",
+    "ICITokenizer",
+    "Vocabulary",
+    "canonical_form",
+]

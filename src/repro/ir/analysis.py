@@ -1,0 +1,240 @@
+"""Static analyses over IR expressions.
+
+These analyses implement the metrics defined in Sec. 3.1.1 and 5.3.1 of the
+paper:
+
+* **circuit depth** -- the longest chain of operations between any input and
+  the output of the expression;
+* **multiplicative depth** -- the longest chain counting only multiplications
+  (scalar ``*`` and ``VecMul``), since multiplications dominate noise growth;
+* **operation counts** -- per-class counts of scalar/vector operations and
+  rotations, used both by the analytical cost function and by the Table 6
+  reproduction.
+
+All analyses operate on the *dataflow DAG* implied by the tree: structurally
+identical sub-expressions are shared (they would be computed once after CSE),
+which matches how the paper reports depth and operation counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.ir.nodes import Const, Expr, Mul, Rotate, Var, Vec, VecMul
+
+__all__ = [
+    "OpCounts",
+    "circuit_depth",
+    "multiplicative_depth",
+    "count_ops",
+    "expression_size",
+    "dag_size",
+    "variables",
+    "constants",
+    "rotation_steps",
+    "iter_subexpressions",
+    "unique_subexpressions",
+]
+
+_MUL_OPS = frozenset({"*", "VecMul"})
+_NON_OPS = frozenset({"var", "const", "Vec"})
+
+
+@dataclass
+class OpCounts:
+    """Per-class operation counts of an expression's dataflow DAG.
+
+    ``Vec`` constructors are counted separately because they are not
+    homomorphic operations themselves; they become client-side packing or
+    rotation/mask sequences during lowering.
+    """
+
+    scalar_add: int = 0
+    scalar_sub: int = 0
+    scalar_mul: int = 0
+    scalar_neg: int = 0
+    vec_add: int = 0
+    vec_sub: int = 0
+    vec_mul: int = 0
+    vec_neg: int = 0
+    rotations: int = 0
+    vec_constructors: int = 0
+
+    @property
+    def scalar_ops(self) -> int:
+        """Total number of scalar arithmetic operations."""
+        return self.scalar_add + self.scalar_sub + self.scalar_mul + self.scalar_neg
+
+    @property
+    def vector_ops(self) -> int:
+        """Total number of element-wise vector operations (excluding rotations)."""
+        return self.vec_add + self.vec_sub + self.vec_mul + self.vec_neg
+
+    @property
+    def multiplications(self) -> int:
+        """Total scalar plus vector multiplications."""
+        return self.scalar_mul + self.vec_mul
+
+    @property
+    def total(self) -> int:
+        """All counted operations, including rotations and Vec constructors."""
+        return (
+            self.scalar_ops
+            + self.vector_ops
+            + self.rotations
+            + self.vec_constructors
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain dictionary view, convenient for reporting."""
+        return {
+            "scalar_add": self.scalar_add,
+            "scalar_sub": self.scalar_sub,
+            "scalar_mul": self.scalar_mul,
+            "scalar_neg": self.scalar_neg,
+            "vec_add": self.vec_add,
+            "vec_sub": self.vec_sub,
+            "vec_mul": self.vec_mul,
+            "vec_neg": self.vec_neg,
+            "rotations": self.rotations,
+            "vec_constructors": self.vec_constructors,
+        }
+
+
+def iter_subexpressions(expr: Expr) -> Iterator[Tuple[Tuple[int, ...], Expr]]:
+    """Yield ``(path, node)`` pairs in pre-order.
+
+    ``path`` is the sequence of child indices leading from the root to the
+    node; the root has the empty path ``()``.
+    """
+    stack: List[Tuple[Tuple[int, ...], Expr]] = [((), expr)]
+    while stack:
+        path, node = stack.pop()
+        yield path, node
+        for index in range(len(node.children) - 1, -1, -1):
+            stack.append((path + (index,), node.children[index]))
+
+
+def unique_subexpressions(expr: Expr) -> List[Expr]:
+    """Return the distinct sub-expressions of ``expr`` (DAG nodes)."""
+    seen: Set[Expr] = set()
+    ordered: List[Expr] = []
+    for _, node in iter_subexpressions(expr):
+        if node not in seen:
+            seen.add(node)
+            ordered.append(node)
+    return ordered
+
+
+def expression_size(expr: Expr) -> int:
+    """Number of nodes in the expression *tree* (with duplication)."""
+    return sum(1 for _ in iter_subexpressions(expr))
+
+
+def dag_size(expr: Expr) -> int:
+    """Number of nodes in the expression *DAG* (shared sub-expressions counted once)."""
+    return len(unique_subexpressions(expr))
+
+
+def variables(expr: Expr) -> List[str]:
+    """Names of the distinct variables of ``expr``, in first-occurrence order."""
+    seen: Set[str] = set()
+    ordered: List[str] = []
+    for _, node in iter_subexpressions(expr):
+        if isinstance(node, Var) and node.name not in seen:
+            seen.add(node.name)
+            ordered.append(node.name)
+    return ordered
+
+
+def constants(expr: Expr) -> List[int]:
+    """Distinct constant values of ``expr``, in first-occurrence order."""
+    seen: Set[int] = set()
+    ordered: List[int] = []
+    for _, node in iter_subexpressions(expr):
+        if isinstance(node, Const) and node.value not in seen:
+            seen.add(node.value)
+            ordered.append(node.value)
+    return ordered
+
+
+def rotation_steps(expr: Expr) -> List[int]:
+    """Distinct non-zero rotation steps appearing in ``expr``."""
+    steps: Set[int] = set()
+    for node in _dag_nodes(expr):
+        if isinstance(node, Rotate) and node.step != 0:
+            steps.add(node.step)
+    return sorted(steps)
+
+
+def circuit_depth(expr: Expr) -> int:
+    """Length of the longest operation chain from any input to the output."""
+    memo: Dict[Expr, int] = {}
+    return _depth(expr, memo, multiplicative=False)
+
+
+def multiplicative_depth(expr: Expr) -> int:
+    """Length of the longest chain counting only multiplications."""
+    memo: Dict[Expr, int] = {}
+    return _depth(expr, memo, multiplicative=True)
+
+
+def count_ops(expr: Expr) -> OpCounts:
+    """Count operations over the dataflow DAG of ``expr``."""
+    counts = OpCounts()
+    for node in _dag_nodes(expr):
+        op = node.op
+        if op == "+":
+            counts.scalar_add += 1
+        elif op == "-":
+            counts.scalar_sub += 1
+        elif op == "*":
+            counts.scalar_mul += 1
+        elif op == "neg":
+            counts.scalar_neg += 1
+        elif op == "VecAdd":
+            counts.vec_add += 1
+        elif op == "VecSub":
+            counts.vec_sub += 1
+        elif op == "VecMul":
+            counts.vec_mul += 1
+        elif op == "VecNeg":
+            counts.vec_neg += 1
+        elif op == "<<":
+            counts.rotations += 1
+        elif op == "Vec":
+            counts.vec_constructors += 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Internal helpers
+# ---------------------------------------------------------------------------
+def _dag_nodes(expr: Expr) -> Iterable[Expr]:
+    return unique_subexpressions(expr)
+
+
+def _depth(expr: Expr, memo: Dict[Expr, int], multiplicative: bool) -> int:
+    # Iterative post-order to avoid recursion limits on deep expressions.
+    stack: List[Tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in memo:
+            continue
+        if node.is_leaf():
+            memo[node] = 0
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for child in node.children:
+                if child not in memo:
+                    stack.append((child, False))
+            continue
+        child_depth = max(memo[child] for child in node.children)
+        if multiplicative:
+            contribution = 1 if node.op in _MUL_OPS else 0
+        else:
+            contribution = 0 if node.op in _NON_OPS else 1
+        memo[node] = child_depth + contribution
+    return memo[expr]

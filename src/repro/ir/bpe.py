@@ -1,0 +1,189 @@
+"""Byte-Pair Encoding (BPE) tokenizer baseline for the tokenization ablation.
+
+The paper compares ICI tokenization against a standard BPE tokenizer trained
+on a corpus of randomly generated IR expressions (Sec. 7.6, Fig. 10).  This
+module implements a compact, dependency-free BPE:
+
+* training learns merge rules over the character sequences of whitespace
+  separated "words" of the textual IR;
+* encoding applies the learned merges greedily and maps the resulting
+  subwords to integer ids.
+
+The point of the ablation is the *overhead* of subword tokenization and its
+larger, learned vocabulary compared with ICI's single linear scan — both of
+which this implementation reproduces faithfully.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ir.nodes import Expr
+from repro.ir.printer import to_sexpr
+
+__all__ = ["BPETokenizer"]
+
+_END_OF_WORD = "</w>"
+PAD_TOKEN = "[PAD]"
+CLS_TOKEN = "[CLS]"
+UNK_TOKEN = "[UNK]"
+
+
+class BPETokenizer:
+    """A minimal byte-pair-encoding tokenizer over textual IR programs."""
+
+    def __init__(self, vocab_size: int = 512, max_length: int = 256) -> None:
+        if vocab_size < 16:
+            raise ValueError("vocab_size must be at least 16")
+        if max_length < 2:
+            raise ValueError("max_length must be at least 2")
+        self.vocab_size = vocab_size
+        self.max_length = max_length
+        self.merges: List[Tuple[str, str]] = []
+        self._merge_ranks: Dict[Tuple[str, str], int] = {}
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        self._trained = False
+
+    # -- training ----------------------------------------------------------
+    def train(self, corpus: Iterable[Expr], max_merges: Optional[int] = None) -> None:
+        """Learn merge rules from an iterable of IR expressions."""
+        word_counts: Counter = Counter()
+        for expr in corpus:
+            for word in _words(expr):
+                word_counts[word] += 1
+        if not word_counts:
+            raise ValueError("cannot train BPE on an empty corpus")
+
+        # Represent each word as a tuple of symbols, starting from characters.
+        symbol_words: Dict[Tuple[str, ...], int] = {}
+        alphabet = set()
+        for word, count in word_counts.items():
+            symbols = tuple(list(word) + [_END_OF_WORD])
+            symbol_words[symbols] = symbol_words.get(symbols, 0) + count
+            alphabet.update(symbols)
+
+        base_tokens = [PAD_TOKEN, CLS_TOKEN, UNK_TOKEN] + sorted(alphabet)
+        budget = self.vocab_size - len(base_tokens)
+        if max_merges is not None:
+            budget = min(budget, max_merges)
+
+        merges: List[Tuple[str, str]] = []
+        for _ in range(max(0, budget)):
+            pair_counts = _count_pairs(symbol_words)
+            if not pair_counts:
+                break
+            best_pair, best_count = max(
+                pair_counts.items(), key=lambda item: (item[1], item[0])
+            )
+            if best_count < 2:
+                break
+            merges.append(best_pair)
+            symbol_words = _apply_merge(symbol_words, best_pair)
+
+        self.merges = merges
+        self._merge_ranks = {pair: rank for rank, pair in enumerate(merges)}
+        tokens = list(base_tokens)
+        tokens.extend("".join(pair) for pair in merges)
+        self._token_to_id = {token: i for i, token in enumerate(tokens)}
+        self._id_to_token = tokens
+        self._trained = True
+
+    # -- inference ---------------------------------------------------------
+    def tokenize(self, expr: Expr) -> List[str]:
+        """Subword tokens of ``expr`` (without special tokens)."""
+        self._require_trained()
+        tokens: List[str] = []
+        for word in _words(expr):
+            tokens.extend(self._encode_word(word))
+        return tokens
+
+    def encode(self, expr: Expr) -> List[int]:
+        """Fixed-length id sequence ``[CLS] subwords... [PAD]...``."""
+        self._require_trained()
+        ids = [self._token_to_id[CLS_TOKEN]]
+        unk = self._token_to_id[UNK_TOKEN]
+        for token in self.tokenize(expr):
+            ids.append(self._token_to_id.get(token, unk))
+        if len(ids) > self.max_length:
+            ids = ids[: self.max_length]
+        else:
+            ids.extend([self._token_to_id[PAD_TOKEN]] * (self.max_length - len(ids)))
+        return ids
+
+    def token_id(self, token: str) -> int:
+        self._require_trained()
+        return self._token_to_id.get(token, self._token_to_id[UNK_TOKEN])
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        self._require_trained()
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        self._require_trained()
+        return self._token_to_id[CLS_TOKEN]
+
+    # -- internals ---------------------------------------------------------
+    def _require_trained(self) -> None:
+        if not self._trained:
+            raise RuntimeError("BPETokenizer must be trained before use")
+
+    def _encode_word(self, word: str) -> List[str]:
+        symbols: List[str] = list(word) + [_END_OF_WORD]
+        while len(symbols) > 1:
+            best_rank = None
+            best_index = -1
+            for index in range(len(symbols) - 1):
+                rank = self._merge_ranks.get((symbols[index], symbols[index + 1]))
+                if rank is not None and (best_rank is None or rank < best_rank):
+                    best_rank = rank
+                    best_index = index
+            if best_rank is None:
+                break
+            symbols[best_index : best_index + 2] = [
+                symbols[best_index] + symbols[best_index + 1]
+            ]
+        return symbols
+
+
+def _words(expr: Expr) -> List[str]:
+    text = to_sexpr(expr).replace("(", " ( ").replace(")", " ) ")
+    return [word for word in text.split() if word]
+
+
+def _count_pairs(symbol_words: Dict[Tuple[str, ...], int]) -> Counter:
+    pair_counts: Counter = Counter()
+    for symbols, count in symbol_words.items():
+        for index in range(len(symbols) - 1):
+            pair_counts[(symbols[index], symbols[index + 1])] += count
+    return pair_counts
+
+
+def _apply_merge(
+    symbol_words: Dict[Tuple[str, ...], int], pair: Tuple[str, str]
+) -> Dict[Tuple[str, ...], int]:
+    merged_token = pair[0] + pair[1]
+    updated: Dict[Tuple[str, ...], int] = {}
+    for symbols, count in symbol_words.items():
+        new_symbols: List[str] = []
+        index = 0
+        while index < len(symbols):
+            if (
+                index < len(symbols) - 1
+                and symbols[index] == pair[0]
+                and symbols[index + 1] == pair[1]
+            ):
+                new_symbols.append(merged_token)
+                index += 2
+            else:
+                new_symbols.append(symbols[index])
+                index += 1
+        key = tuple(new_symbols)
+        updated[key] = updated.get(key, 0) + count
+    return updated

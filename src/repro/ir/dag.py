@@ -1,0 +1,124 @@
+"""Dataflow-DAG view of IR expressions.
+
+FHE literature commonly represents a program as a circuit: a DAG whose nodes
+are homomorphic operations and whose leaves are inputs.  This module converts
+the expression tree into an explicit DAG by hash-consing structurally equal
+sub-expressions, which is the representation used for:
+
+* common-subexpression elimination in the compiler,
+* per-node depth annotations,
+* topological scheduling during lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.ir.nodes import Expr
+
+__all__ = ["DagNode", "Dag", "build_dag"]
+
+
+@dataclass
+class DagNode:
+    """A node of the hash-consed circuit DAG."""
+
+    #: Stable integer identifier (topological order: operands precede users).
+    node_id: int
+    #: The expression this node computes.
+    expr: Expr
+    #: Identifiers of the operand nodes.
+    operands: Tuple[int, ...]
+    #: Number of DAG nodes that consume this node's value.
+    use_count: int = 0
+    #: Circuit depth of this node (operations on the longest input path).
+    depth: int = 0
+    #: Multiplicative depth of this node.
+    mult_depth: int = 0
+
+
+@dataclass
+class Dag:
+    """A hash-consed circuit DAG for a single output expression."""
+
+    nodes: List[DagNode] = field(default_factory=list)
+    #: Maps each distinct expression to its node id.
+    index: Dict[Expr, int] = field(default_factory=dict)
+    #: Node id of the output expression.
+    output: int = -1
+
+    def node_for(self, expr: Expr) -> DagNode:
+        """Return the DAG node computing ``expr``."""
+        return self.nodes[self.index[expr]]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def topological(self) -> List[DagNode]:
+        """Nodes in a valid evaluation order (operands before users)."""
+        return list(self.nodes)
+
+    @property
+    def depth(self) -> int:
+        """Circuit depth of the output."""
+        return self.nodes[self.output].depth if self.nodes else 0
+
+    @property
+    def mult_depth(self) -> int:
+        """Multiplicative depth of the output."""
+        return self.nodes[self.output].mult_depth if self.nodes else 0
+
+
+def build_dag(expr: Expr) -> Dag:
+    """Build the hash-consed DAG of ``expr``.
+
+    Structurally identical sub-expressions are represented by a single node,
+    mirroring the effect of common-subexpression elimination.
+    """
+    dag = Dag()
+    _intern(expr, dag)
+    dag.output = dag.index[expr]
+    return dag
+
+
+_MUL_OPS = frozenset({"*", "VecMul"})
+_NON_OPS = frozenset({"var", "const", "Vec"})
+
+
+def _intern(expr: Expr, dag: Dag) -> int:
+    # Iterative post-order interning so deep trees do not hit recursion limits.
+    stack: List[Tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in dag.index:
+            continue
+        if not expanded and node.children:
+            stack.append((node, True))
+            for child in node.children:
+                if child not in dag.index:
+                    stack.append((child, False))
+            continue
+        operand_ids = tuple(dag.index[child] for child in node.children)
+        if node.is_leaf():
+            depth = 0
+            mult_depth = 0
+        else:
+            depth = max(dag.nodes[i].depth for i in operand_ids)
+            mult_depth = max(dag.nodes[i].mult_depth for i in operand_ids)
+            if node.op not in _NON_OPS:
+                depth += 1
+            if node.op in _MUL_OPS:
+                mult_depth += 1
+        dag_node = DagNode(
+            node_id=len(dag.nodes),
+            expr=node,
+            operands=operand_ids,
+            depth=depth,
+            mult_depth=mult_depth,
+        )
+        dag.nodes.append(dag_node)
+        dag.index[node] = dag_node.node_id
+        for operand_id in operand_ids:
+            dag.nodes[operand_id].use_count += 1
+    return dag.index[expr]

@@ -1,0 +1,149 @@
+"""Reference (plaintext) evaluation semantics of the CHEHAB IR.
+
+Every expression evaluates to a vector of ``slot_count`` integers — the
+batched-FHE view of the computation:
+
+* a scalar :class:`~repro.ir.nodes.Var` holds its value in slot 0 (the other
+  slots are zero); a vector-valued variable (a list/array binding) occupies
+  slots ``0..len-1``;
+* a :class:`~repro.ir.nodes.Const` broadcasts its value to every slot (this
+  is how identity padding such as ``(Vec a c 1)`` behaves);
+* scalar and vector arithmetic operators apply slot-wise;
+* ``(Vec e0 e1 ...)`` places slot 0 of each element's value at slot ``i``;
+* ``(<< x s)`` cyclically rotates the slot vector left by ``s``.
+
+The *meaningful* slots of an expression are slots ``0..arity-1`` where
+``arity`` is the output vector length (1 for scalar programs); rewrite rules
+are required to preserve exactly those slots, which is what the
+property-based rule tests check.
+
+Evaluation can be exact (Python ints) or modular (``modulus`` given), the
+latter matching the BFV plaintext space ``Z_t``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.ir.nodes import (
+    Add,
+    Const,
+    Expr,
+    Mul,
+    Neg,
+    Rotate,
+    Sub,
+    Var,
+    Vec,
+    VecAdd,
+    VecMul,
+    VecNeg,
+    VecSub,
+)
+
+__all__ = ["evaluate", "output_arity", "EvaluationError"]
+
+Value = Union[int, Sequence[int]]
+
+
+class EvaluationError(ValueError):
+    """Raised for unbound variables or malformed expressions."""
+
+
+def output_arity(expr: Expr) -> int:
+    """Number of meaningful output slots of ``expr``.
+
+    A top-level ``Vec`` (or a vector operation over ``Vec`` constructors)
+    defines the output length; any other expression is scalar (arity 1).
+    """
+    if isinstance(expr, Vec):
+        return len(expr.elements)
+    if isinstance(expr, (VecAdd, VecSub, VecMul, VecNeg, Rotate)):
+        arities = [output_arity(child) for child in expr.children]
+        return max(arities) if arities else 1
+    return 1
+
+
+def evaluate(
+    expr: Expr,
+    env: Mapping[str, Value],
+    slot_count: int = 16,
+    modulus: Optional[int] = None,
+) -> List[int]:
+    """Evaluate ``expr`` under ``env`` and return its full slot vector."""
+    if slot_count < 1:
+        raise ValueError("slot_count must be positive")
+    cache: Dict[Expr, np.ndarray] = {}
+    result = _eval(expr, env, slot_count, cache)
+    if modulus is not None:
+        result = result % modulus
+    return [int(value) for value in result]
+
+
+def _leaf_vector(value: Value, slot_count: int, broadcast: bool) -> np.ndarray:
+    slots = np.zeros(slot_count, dtype=object)
+    if isinstance(value, (list, tuple, np.ndarray)):
+        values = list(value)
+        if len(values) > slot_count:
+            raise EvaluationError(
+                f"vector value of length {len(values)} exceeds {slot_count} slots"
+            )
+        for index, item in enumerate(values):
+            slots[index] = int(item)
+        return slots
+    if broadcast:
+        slots[:] = int(value)
+    else:
+        slots[0] = int(value)
+    return slots
+
+
+def _eval(
+    expr: Expr,
+    env: Mapping[str, Value],
+    slot_count: int,
+    cache: Dict[Expr, np.ndarray],
+) -> np.ndarray:
+    cached = cache.get(expr)
+    if cached is not None:
+        return cached
+
+    if isinstance(expr, Var):
+        if expr.name not in env:
+            raise EvaluationError(f"unbound variable {expr.name!r}")
+        result = _leaf_vector(env[expr.name], slot_count, broadcast=False)
+    elif isinstance(expr, Const):
+        result = _leaf_vector(expr.value, slot_count, broadcast=True)
+    elif isinstance(expr, (Add, VecAdd)):
+        result = _eval(expr.children[0], env, slot_count, cache) + _eval(
+            expr.children[1], env, slot_count, cache
+        )
+    elif isinstance(expr, (Sub, VecSub)):
+        result = _eval(expr.children[0], env, slot_count, cache) - _eval(
+            expr.children[1], env, slot_count, cache
+        )
+    elif isinstance(expr, (Mul, VecMul)):
+        result = _eval(expr.children[0], env, slot_count, cache) * _eval(
+            expr.children[1], env, slot_count, cache
+        )
+    elif isinstance(expr, (Neg, VecNeg)):
+        result = -_eval(expr.children[0], env, slot_count, cache)
+    elif isinstance(expr, Rotate):
+        operand = _eval(expr.operand, env, slot_count, cache)
+        result = np.roll(operand, -expr.step)
+    elif isinstance(expr, Vec):
+        result = np.zeros(slot_count, dtype=object)
+        if len(expr.elements) > slot_count:
+            raise EvaluationError(
+                f"Vec of {len(expr.elements)} elements exceeds {slot_count} slots"
+            )
+        for index, element in enumerate(expr.elements):
+            value = _eval(element, env, slot_count, cache)
+            result[index] = value[0]
+    else:
+        raise EvaluationError(f"cannot evaluate node {type(expr).__name__}")
+
+    cache[expr] = result
+    return result

@@ -1,0 +1,375 @@
+"""Typed, immutable expression nodes for the CHEHAB IR.
+
+Every node derives from :class:`Expr` and exposes a uniform interface:
+
+* ``op`` -- a short string naming the operator (``"+"``, ``"Vec"``, ...).
+* ``children`` -- a tuple of child expressions (empty for leaves).
+* ``with_children(new_children)`` -- rebuild the node with new children,
+  preserving any non-child attributes (variable name, constant value,
+  rotation step).
+
+This generic interface is what the term rewriting system, the analyses and
+the tokenizers traverse, while user-facing code can still construct and
+pattern-match on the concrete classes.
+
+Nodes are immutable and implement structural equality and hashing, so they
+can be used as dictionary keys (hash-consing, CSE, memoised analyses).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Add",
+    "Sub",
+    "Mul",
+    "Neg",
+    "Rotate",
+    "Vec",
+    "VecAdd",
+    "VecSub",
+    "VecMul",
+    "VecNeg",
+    "SCALAR_BINARY_OPS",
+    "VECTOR_BINARY_OPS",
+    "is_scalar_op",
+    "is_vector_op",
+]
+
+
+class Expr:
+    """Base class of every IR node.
+
+    Subclasses set the class attribute :attr:`op` and store their children in
+    :attr:`children`.  Instances are immutable; all "mutation" happens by
+    constructing new nodes (typically through :meth:`with_children`).
+    """
+
+    #: Operator mnemonic; overridden by every subclass.
+    op: str = "?"
+
+    __slots__ = ("children", "_hash")
+
+    def __init__(self, children: Sequence["Expr"] = ()) -> None:
+        object.__setattr__(self, "children", tuple(children))
+        object.__setattr__(self, "_hash", None)
+
+    # -- immutability ------------------------------------------------------
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"{type(self).__name__} nodes are immutable; build a new node instead"
+        )
+
+    # -- generic interface -------------------------------------------------
+    def with_children(self, children: Sequence["Expr"]) -> "Expr":
+        """Return a copy of this node with ``children`` replaced.
+
+        Leaf nodes raise ``ValueError`` when given a non-empty child list.
+        """
+        if children:
+            raise ValueError(f"{type(self).__name__} is a leaf and takes no children")
+        return self
+
+    @property
+    def arity(self) -> int:
+        """Number of direct children."""
+        return len(self.children)
+
+    def is_leaf(self) -> bool:
+        """True when the node has no children (variables and constants)."""
+        return not self.children
+
+    def _key(self) -> Tuple:
+        """Tuple identifying the node for equality/hashing (excludes children)."""
+        return (self.op,)
+
+    # -- structural equality -----------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Expr):
+            return NotImplemented
+        if type(self) is not type(other):
+            return False
+        return self._key() == other._key() and self.children == other.children
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash((type(self).__name__, self._key(), self.children))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    # -- convenience -------------------------------------------------------
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and every descendant in pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.ir.printer import to_sexpr
+
+        return f"{type(self).__name__}({to_sexpr(self)!r})"
+
+    def __str__(self) -> str:
+        from repro.ir.printer import to_sexpr
+
+        return to_sexpr(self)
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+class Var(Expr):
+    """A named scalar or vector input variable."""
+
+    op = "var"
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("variable name must be a non-empty string")
+        super().__init__(())
+        object.__setattr__(self, "name", str(name))
+
+    def _key(self) -> Tuple:
+        return (self.op, self.name)
+
+    def with_children(self, children: Sequence[Expr]) -> "Var":
+        if children:
+            raise ValueError("Var is a leaf and takes no children")
+        return self
+
+
+class Const(Expr):
+    """An integer literal."""
+
+    op = "const"
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        super().__init__(())
+        object.__setattr__(self, "value", int(value))
+
+    def _key(self) -> Tuple:
+        return (self.op, self.value)
+
+    def with_children(self, children: Sequence[Expr]) -> "Const":
+        if children:
+            raise ValueError("Const is a leaf and takes no children")
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Scalar arithmetic
+# ---------------------------------------------------------------------------
+class _Binary(Expr):
+    """Shared machinery for binary operators."""
+
+    __slots__ = ()
+
+    def __init__(self, lhs: Expr, rhs: Expr) -> None:
+        _check_expr(lhs, "lhs")
+        _check_expr(rhs, "rhs")
+        super().__init__((lhs, rhs))
+
+    @property
+    def lhs(self) -> Expr:
+        return self.children[0]
+
+    @property
+    def rhs(self) -> Expr:
+        return self.children[1]
+
+    def with_children(self, children: Sequence[Expr]) -> "Expr":
+        if len(children) != 2:
+            raise ValueError(f"{type(self).__name__} takes exactly two children")
+        return type(self)(children[0], children[1])
+
+
+class _Unary(Expr):
+    """Shared machinery for unary operators."""
+
+    __slots__ = ()
+
+    def __init__(self, operand: Expr) -> None:
+        _check_expr(operand, "operand")
+        super().__init__((operand,))
+
+    @property
+    def operand(self) -> Expr:
+        return self.children[0]
+
+    def with_children(self, children: Sequence[Expr]) -> "Expr":
+        if len(children) != 1:
+            raise ValueError(f"{type(self).__name__} takes exactly one child")
+        return type(self)(children[0])
+
+
+class Add(_Binary):
+    """Scalar addition (``(+ a b)``)."""
+
+    op = "+"
+    __slots__ = ()
+
+
+class Sub(_Binary):
+    """Scalar subtraction (``(- a b)``)."""
+
+    op = "-"
+    __slots__ = ()
+
+
+class Mul(_Binary):
+    """Scalar multiplication (``(* a b)``)."""
+
+    op = "*"
+    __slots__ = ()
+
+
+class Neg(_Unary):
+    """Scalar negation (``(- a)``)."""
+
+    op = "neg"
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Rotation and vectors
+# ---------------------------------------------------------------------------
+class Rotate(Expr):
+    """Cyclic left rotation of a packed ciphertext by a constant step.
+
+    ``(<< x 2)`` rotates the slots of ``x`` left by two positions; slot ``i``
+    of the result holds slot ``(i + 2) mod n`` of the input.
+    """
+
+    op = "<<"
+    __slots__ = ("step",)
+
+    def __init__(self, operand: Expr, step: int) -> None:
+        _check_expr(operand, "operand")
+        super().__init__((operand,))
+        object.__setattr__(self, "step", int(step))
+
+    @property
+    def operand(self) -> Expr:
+        return self.children[0]
+
+    def _key(self) -> Tuple:
+        return (self.op, self.step)
+
+    def with_children(self, children: Sequence[Expr]) -> "Rotate":
+        if len(children) != 1:
+            raise ValueError("Rotate takes exactly one child")
+        return Rotate(children[0], self.step)
+
+
+class Vec(Expr):
+    """Vector constructor: packs scalar elements into ciphertext slots.
+
+    ``(Vec a b c)`` produces a vector whose slot 0 holds ``a``, slot 1 holds
+    ``b`` and slot 2 holds ``c``; remaining slots are zero.
+    """
+
+    op = "Vec"
+    __slots__ = ()
+
+    def __init__(self, *elements: Expr) -> None:
+        if len(elements) == 1 and isinstance(elements[0], (list, tuple)):
+            elements = tuple(elements[0])
+        if not elements:
+            raise ValueError("Vec requires at least one element")
+        for index, element in enumerate(elements):
+            _check_expr(element, f"element {index}")
+        super().__init__(tuple(elements))
+
+    @property
+    def elements(self) -> Tuple[Expr, ...]:
+        return self.children
+
+    def with_children(self, children: Sequence[Expr]) -> "Vec":
+        return Vec(*children)
+
+
+class VecAdd(_Binary):
+    """Element-wise vector addition."""
+
+    op = "VecAdd"
+    __slots__ = ()
+
+
+class VecSub(_Binary):
+    """Element-wise vector subtraction."""
+
+    op = "VecSub"
+    __slots__ = ()
+
+
+class VecMul(_Binary):
+    """Element-wise vector multiplication."""
+
+    op = "VecMul"
+    __slots__ = ()
+
+
+class VecNeg(_Unary):
+    """Element-wise vector negation."""
+
+    op = "VecNeg"
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+SCALAR_BINARY_OPS = ("+", "-", "*")
+VECTOR_BINARY_OPS = ("VecAdd", "VecSub", "VecMul")
+
+_SCALAR_OPS = frozenset({"+", "-", "*", "neg"})
+_VECTOR_OPS = frozenset({"Vec", "VecAdd", "VecSub", "VecMul", "VecNeg", "<<"})
+
+
+def is_scalar_op(node: Expr) -> bool:
+    """True when ``node`` is a scalar arithmetic operator."""
+    return node.op in _SCALAR_OPS
+
+
+def is_vector_op(node: Expr) -> bool:
+    """True when ``node`` is a vector operator, rotation or constructor."""
+    return node.op in _VECTOR_OPS
+
+
+def _check_expr(value: object, label: str) -> None:
+    if not isinstance(value, Expr):
+        raise TypeError(f"{label} must be an Expr, got {type(value).__name__}")
+
+
+def produces_vector(node: Expr, vector_vars: Optional[frozenset] = None) -> bool:
+    """Best-effort check of whether ``node`` evaluates to a packed vector.
+
+    ``vector_vars`` optionally names the variables that are known to be
+    vector-valued inputs; all other variables are treated as scalars.
+    """
+    if isinstance(node, Var):
+        return vector_vars is not None and node.name in vector_vars
+    if isinstance(node, Const):
+        return False
+    if node.op in ("Vec", "VecAdd", "VecSub", "VecMul", "VecNeg"):
+        return True
+    if node.op == "<<":
+        return True
+    return any(produces_vector(child, vector_vars) for child in node.children)

@@ -1,0 +1,160 @@
+"""Parser for the textual (s-expression) form of the CHEHAB IR.
+
+The grammar is the one used by the paper's LLM-synthesis prompt and by our
+dataset files:
+
+.. code-block:: text
+
+    expr     := atom | "(" op expr+ ")"
+    op       := "+" | "-" | "*" | "<<" | ">>" | "Vec"
+              | "VecAdd" | "VecSub" | "VecMul" | "VecNeg"
+    atom     := integer | identifier
+
+``(- x)`` parses to a :class:`~repro.ir.nodes.Neg`, ``(- x y)`` to a
+:class:`~repro.ir.nodes.Sub`.  ``(>> x k)`` is normalised to a left rotation
+with a negative step.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.ir.nodes import (
+    Add,
+    Const,
+    Expr,
+    Mul,
+    Neg,
+    Rotate,
+    Sub,
+    Var,
+    Vec,
+    VecAdd,
+    VecMul,
+    VecNeg,
+    VecSub,
+)
+
+__all__ = ["parse", "parse_many", "ParseError"]
+
+_TOKEN_RE = re.compile(r"\(|\)|[^\s()]+")
+_INT_RE = re.compile(r"^-?\d+$")
+
+
+class ParseError(ValueError):
+    """Raised when the input text is not a well-formed IR expression."""
+
+
+def parse(text: str) -> Expr:
+    """Parse a single expression from ``text``.
+
+    Raises :class:`ParseError` on syntax errors or trailing content.
+    """
+    tokens = _TOKEN_RE.findall(text)
+    if not tokens:
+        raise ParseError("empty input")
+    expr, position = _parse_expr(tokens, 0)
+    if position != len(tokens):
+        raise ParseError(
+            f"unexpected trailing tokens starting at {tokens[position]!r}"
+        )
+    return expr
+
+
+def parse_many(text: str) -> List[Expr]:
+    """Parse every expression in ``text`` (one or more, whitespace separated)."""
+    tokens = _TOKEN_RE.findall(text)
+    expressions: List[Expr] = []
+    position = 0
+    while position < len(tokens):
+        expr, position = _parse_expr(tokens, position)
+        expressions.append(expr)
+    if not expressions:
+        raise ParseError("empty input")
+    return expressions
+
+
+def _parse_expr(tokens: List[str], position: int) -> Tuple[Expr, int]:
+    if position >= len(tokens):
+        raise ParseError("unexpected end of input")
+    token = tokens[position]
+    if token == ")":
+        raise ParseError("unexpected ')'")
+    if token != "(":
+        return _parse_atom(token), position + 1
+
+    position += 1
+    if position >= len(tokens):
+        raise ParseError("unexpected end of input after '('")
+    op = tokens[position]
+    position += 1
+
+    operands: List[Expr] = []
+    raw_operands: List[str] = []
+    while position < len(tokens) and tokens[position] != ")":
+        raw_operands.append(tokens[position])
+        operand, position = _parse_expr(tokens, position)
+        operands.append(operand)
+    if position >= len(tokens):
+        raise ParseError("missing closing ')'")
+    position += 1  # consume ')'
+
+    return _build(op, operands, raw_operands), position
+
+
+def _parse_atom(token: str) -> Expr:
+    if _INT_RE.match(token):
+        return Const(int(token))
+    return Var(token)
+
+
+def _build(op: str, operands: List[Expr], raw_operands: List[str]) -> Expr:
+    if op == "+":
+        return _fold_left(Add, op, operands)
+    if op == "*":
+        return _fold_left(Mul, op, operands)
+    if op == "-":
+        if len(operands) == 1:
+            return Neg(operands[0])
+        if len(operands) == 2:
+            return Sub(operands[0], operands[1])
+        raise ParseError(f"'-' takes one or two operands, got {len(operands)}")
+    if op in ("<<", ">>"):
+        if len(operands) != 2 or not isinstance(operands[1], Const):
+            raise ParseError(f"'{op}' expects (expr, integer-step)")
+        step = operands[1].value
+        if op == ">>":
+            step = -step
+        return Rotate(operands[0], step)
+    if op == "Vec":
+        if not operands:
+            raise ParseError("Vec requires at least one element")
+        return Vec(*operands)
+    if op == "VecAdd":
+        return _fold_left(VecAdd, op, operands)
+    if op == "VecSub":
+        return _binary(VecSub, op, operands)
+    if op == "VecMul":
+        return _fold_left(VecMul, op, operands)
+    if op == "VecNeg":
+        if len(operands) != 1:
+            raise ParseError("VecNeg takes exactly one operand")
+        return VecNeg(operands[0])
+    raise ParseError(f"unknown operator {op!r}")
+
+
+def _binary(cls, op: str, operands: List[Expr]) -> Expr:
+    if len(operands) != 2:
+        raise ParseError(f"'{op}' takes exactly two operands, got {len(operands)}")
+    return cls(operands[0], operands[1])
+
+
+def _fold_left(cls, op: str, operands: List[Expr]) -> Expr:
+    """Allow n-ary ``(+ a b c)`` by left-folding into binary nodes."""
+    if len(operands) < 2:
+        raise ParseError(f"'{op}' takes at least two operands, got {len(operands)}")
+    result = operands[0]
+    for operand in operands[1:]:
+        result = cls(result, operand)
+    return result

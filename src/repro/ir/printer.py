@@ -1,0 +1,68 @@
+"""Textual s-expression form of the CHEHAB IR.
+
+The printed form round-trips through :func:`repro.ir.parser.parse` and is the
+format used in the paper, e.g. ``(Vec (+ a b) (* c d))`` or ``(<< x 2)``.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    Add,
+    Const,
+    Expr,
+    Mul,
+    Neg,
+    Rotate,
+    Sub,
+    Var,
+    Vec,
+    VecAdd,
+    VecMul,
+    VecNeg,
+    VecSub,
+)
+
+__all__ = ["to_sexpr", "pretty"]
+
+
+def to_sexpr(expr: Expr) -> str:
+    """Render ``expr`` as a single-line s-expression string."""
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, (Add, Sub, Mul)):
+        return f"({expr.op} {to_sexpr(expr.lhs)} {to_sexpr(expr.rhs)})"
+    if isinstance(expr, Neg):
+        return f"(- {to_sexpr(expr.operand)})"
+    if isinstance(expr, Rotate):
+        return f"(<< {to_sexpr(expr.operand)} {expr.step})"
+    if isinstance(expr, Vec):
+        inner = " ".join(to_sexpr(element) for element in expr.elements)
+        return f"(Vec {inner})"
+    if isinstance(expr, (VecAdd, VecSub, VecMul)):
+        return f"({expr.op} {to_sexpr(expr.lhs)} {to_sexpr(expr.rhs)})"
+    if isinstance(expr, VecNeg):
+        return f"(VecNeg {to_sexpr(expr.operand)})"
+    # Pattern variables and future node types fall back to a generic form.
+    if expr.is_leaf():
+        return f"?{getattr(expr, 'name', expr.op)}"
+    inner = " ".join(to_sexpr(child) for child in expr.children)
+    return f"({expr.op} {inner})"
+
+
+def pretty(expr: Expr, indent: int = 2) -> str:
+    """Render ``expr`` as an indented multi-line string (for debugging/docs)."""
+    return _pretty(expr, 0, indent)
+
+
+def _pretty(expr: Expr, level: int, indent: int) -> str:
+    pad = " " * (level * indent)
+    if expr.is_leaf():
+        return pad + to_sexpr(expr)
+    head = expr.op if not isinstance(expr, Rotate) else f"<< step={expr.step}"
+    lines = [pad + f"({head}"]
+    for child in expr.children:
+        lines.append(_pretty(child, level + 1, indent))
+    lines.append(pad + ")")
+    return "\n".join(lines)

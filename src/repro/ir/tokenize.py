@@ -1,0 +1,202 @@
+"""Identifier and Constant Invariant (ICI) tokenization (paper Sec. 5.1).
+
+ICI produces a canonical token sequence that is invariant to identifier names
+and to the concrete values of constants:
+
+* IR operators and parentheses use a small fixed vocabulary;
+* the first distinct variable becomes ``v0``, the second ``v1``, ...;
+* the constants ``0`` and ``1`` are kept literal (they are the additive /
+  multiplicative identities many rewrite rules branch on);
+* every other constant becomes ``c0``, ``c1``, ... in first-occurrence
+  order, so equality between constant occurrences is preserved while the
+  literal value is discarded.
+
+The canonical string form (:func:`canonical_form`) is used for dataset
+deduplication and benchmark exclusion; :class:`ICITokenizer` additionally
+maps token sequences to integer ids for the neural encoder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.ir.nodes import Const, Expr, Rotate, Var
+
+__all__ = ["ici_tokens", "canonical_form", "Vocabulary", "ICITokenizer"]
+
+#: Fixed operator/delimiter vocabulary shared by every program.
+OPERATOR_TOKENS = (
+    "(",
+    ")",
+    "+",
+    "-",
+    "*",
+    "neg",
+    "<<",
+    "Vec",
+    "VecAdd",
+    "VecSub",
+    "VecMul",
+    "VecNeg",
+    "0",
+    "1",
+)
+
+#: Special tokens used by the neural encoder.
+PAD_TOKEN = "[PAD]"
+CLS_TOKEN = "[CLS]"
+UNK_TOKEN = "[UNK]"
+
+
+def ici_tokens(expr: Expr) -> List[str]:
+    """Tokenize ``expr`` into its ICI canonical token sequence."""
+    variable_map: Dict[str, str] = {}
+    constant_map: Dict[int, str] = {}
+    tokens: List[str] = []
+    _emit(expr, tokens, variable_map, constant_map)
+    return tokens
+
+
+def canonical_form(expr: Expr) -> str:
+    """Canonical string form of ``expr`` (ICI tokens joined by spaces)."""
+    return " ".join(ici_tokens(expr))
+
+
+def _emit(
+    expr: Expr,
+    tokens: List[str],
+    variable_map: Dict[str, str],
+    constant_map: Dict[int, str],
+) -> None:
+    if isinstance(expr, Var):
+        token = variable_map.get(expr.name)
+        if token is None:
+            token = f"v{len(variable_map)}"
+            variable_map[expr.name] = token
+        tokens.append(token)
+        return
+    if isinstance(expr, Const):
+        if expr.value in (0, 1):
+            tokens.append(str(expr.value))
+            return
+        token = constant_map.get(expr.value)
+        if token is None:
+            token = f"c{len(constant_map)}"
+            constant_map[expr.value] = token
+        tokens.append(token)
+        return
+    tokens.append("(")
+    if isinstance(expr, Rotate):
+        tokens.append("<<")
+        _emit(expr.operand, tokens, variable_map, constant_map)
+        # The rotation step behaves like a structural constant: its literal
+        # value is discarded but equal steps receive the same token.
+        step = expr.step
+        if step in (0, 1):
+            tokens.append(str(step))
+        else:
+            token = constant_map.get(step)
+            if token is None:
+                token = f"c{len(constant_map)}"
+                constant_map[step] = token
+            tokens.append(token)
+        tokens.append(")")
+        return
+    op = "-" if expr.op == "neg" else expr.op
+    tokens.append(op)
+    for child in expr.children:
+        _emit(child, tokens, variable_map, constant_map)
+    tokens.append(")")
+
+
+class Vocabulary:
+    """Token ↔ integer-id mapping with special tokens.
+
+    The vocabulary is closed by construction: a fixed operator set plus a
+    bounded number of ``v#``/``c#`` placeholder tokens.  Unknown tokens map
+    to ``[UNK]``.
+    """
+
+    def __init__(self, max_variables: int = 64, max_constants: int = 32) -> None:
+        if max_variables < 1 or max_constants < 1:
+            raise ValueError("vocabulary sizes must be positive")
+        self.max_variables = max_variables
+        self.max_constants = max_constants
+        tokens: List[str] = [PAD_TOKEN, CLS_TOKEN, UNK_TOKEN]
+        tokens.extend(OPERATOR_TOKENS)
+        tokens.extend(f"v{i}" for i in range(max_variables))
+        tokens.extend(f"c{i}" for i in range(max_constants))
+        self._token_to_id: Dict[str, int] = {tok: i for i, tok in enumerate(tokens)}
+        self._id_to_token: List[str] = tokens
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[CLS_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    def token_id(self, token: str) -> int:
+        """Id of ``token``; unknown tokens map to the ``[UNK]`` id."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def token(self, token_id: int) -> str:
+        """Inverse of :meth:`token_id`."""
+        return self._id_to_token[token_id]
+
+    def encode(self, tokens: Sequence[str]) -> List[int]:
+        """Map a token sequence to ids (no padding or truncation)."""
+        return [self.token_id(token) for token in tokens]
+
+    def decode(self, ids: Sequence[int]) -> List[str]:
+        """Map ids back to tokens."""
+        return [self.token(i) for i in ids]
+
+
+class ICITokenizer:
+    """Tokenizer front-end used by the RL state representation.
+
+    ``encode`` produces a fixed-length id sequence: ``[CLS]`` followed by the
+    ICI tokens of the program, padded/truncated to ``max_length``.
+    """
+
+    def __init__(
+        self,
+        vocabulary: Optional[Vocabulary] = None,
+        max_length: int = 256,
+    ) -> None:
+        if max_length < 2:
+            raise ValueError("max_length must be at least 2 (CLS plus one token)")
+        self.vocabulary = vocabulary if vocabulary is not None else Vocabulary()
+        self.max_length = max_length
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocabulary)
+
+    def tokenize(self, expr: Expr) -> List[str]:
+        """ICI token strings of ``expr`` (without special tokens)."""
+        return ici_tokens(expr)
+
+    def encode(self, expr: Expr) -> List[int]:
+        """Fixed-length id sequence ``[CLS] tokens... [PAD]...``."""
+        ids = [self.vocabulary.cls_id]
+        ids.extend(self.vocabulary.encode(ici_tokens(expr)))
+        if len(ids) > self.max_length:
+            ids = ids[: self.max_length]
+        else:
+            ids.extend([self.vocabulary.pad_id] * (self.max_length - len(ids)))
+        return ids
+
+    def attention_mask(self, ids: Sequence[int]) -> List[int]:
+        """1 for real tokens, 0 for padding."""
+        pad = self.vocabulary.pad_id
+        return [0 if token_id == pad else 1 for token_id in ids]

@@ -1,0 +1,32 @@
+"""Benchmark kernels of the paper's evaluation (Sec. 7.2).
+
+Three suites, each parameterized by input size:
+
+* the **Porcupine suite** (:mod:`repro.kernels.porcupine`): Box Blur, Gx,
+  Gy, Roberts Cross, Dot Product, Hamming Distance, L2 Distance, Linear
+  Regression, Polynomial Regression;
+* the **Coyote suite** (:mod:`repro.kernels.coyote_suite`): Matrix
+  Multiplication, Max, Sort;
+* the **random polynomial trees** (:mod:`repro.kernels.trees`):
+  tree-50-50-d, tree-100-50-d, tree-100-100-d stress tests.
+
+Every kernel is expressed in the embedded DSL as scalar code (FHE code is
+fully unrolled), together with a plaintext reference function and an input
+generator, so compiled circuits can be verified end to end.
+:func:`repro.kernels.registry.benchmark_suite` returns the standard list
+used by the experiment harness and Table 6.
+"""
+
+from repro.kernels.registry import (
+    Benchmark,
+    benchmark_by_name,
+    benchmark_suite,
+    small_benchmark_suite,
+)
+
+__all__ = [
+    "Benchmark",
+    "benchmark_suite",
+    "small_benchmark_suite",
+    "benchmark_by_name",
+]

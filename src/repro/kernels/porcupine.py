@@ -1,0 +1,145 @@
+"""The Porcupine benchmark suite (image processing and ML building blocks).
+
+Every kernel builds a scalar (fully unrolled) DSL program, mirroring how the
+paper's benchmarks are written: the compiler is responsible for discovering
+the vectorization.  Each builder returns a :class:`repro.compiler.dsl.Program`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.compiler.dsl import Ciphertext, Program, vector_input
+
+__all__ = [
+    "dot_product",
+    "hamming_distance",
+    "l2_distance",
+    "linear_regression",
+    "polynomial_regression",
+    "box_blur",
+    "gx_kernel",
+    "gy_kernel",
+    "roberts_cross",
+]
+
+
+def _accumulate(terms: List[Ciphertext]) -> Ciphertext:
+    result = terms[0]
+    for term in terms[1:]:
+        result = result + term
+    return result
+
+
+def dot_product(size: int) -> Program:
+    """Dot product of two ``size``-element encrypted vectors."""
+    with Program(f"dot_product_{size}") as program:
+        a = vector_input("a", size)
+        b = vector_input("b", size)
+        _accumulate([a[i] * b[i] for i in range(size)]).set_output("result")
+    return program
+
+
+def hamming_distance(size: int) -> Program:
+    """Hamming distance between two encrypted bit-vectors.
+
+    For bits ``a, b`` the XOR is ``a + b - 2ab``; the distance is the sum of
+    the per-position XORs.
+    """
+    with Program(f"hamming_distance_{size}") as program:
+        a = vector_input("a", size)
+        b = vector_input("b", size)
+        xors = [(a[i] + b[i]) - (a[i] * b[i]) * 2 for i in range(size)]
+        _accumulate(xors).set_output("result")
+    return program
+
+
+def l2_distance(size: int) -> Program:
+    """Squared L2 distance between two encrypted vectors."""
+    with Program(f"l2_distance_{size}") as program:
+        a = vector_input("a", size)
+        b = vector_input("b", size)
+        squares = [(a[i] - b[i]) * (a[i] - b[i]) for i in range(size)]
+        _accumulate(squares).set_output("result")
+    return program
+
+
+def linear_regression(size: int) -> Program:
+    """Linear-regression inference: ``w · x + b`` over encrypted features."""
+    with Program(f"linear_regression_{size}") as program:
+        w = vector_input("w", size)
+        x = vector_input("x", size)
+        bias = Ciphertext("bias")
+        (_accumulate([w[i] * x[i] for i in range(size)]) + bias).set_output("result")
+    return program
+
+
+def polynomial_regression(size: int) -> Program:
+    """Degree-2 polynomial regression: ``sum_i (a_i x_i^2 + b_i x_i) + c``."""
+    with Program(f"polynomial_regression_{size}") as program:
+        a = vector_input("a", size)
+        b = vector_input("b", size)
+        x = vector_input("x", size)
+        c = Ciphertext("c")
+        terms = [a[i] * (x[i] * x[i]) + b[i] * x[i] for i in range(size)]
+        (_accumulate(terms) + c).set_output("result")
+    return program
+
+
+def box_blur(rows: int, cols: int | None = None) -> Program:
+    """3x3 box blur over a ``rows × cols`` encrypted image (valid region)."""
+    cols = cols if cols is not None else rows
+    with Program(f"box_blur_{rows}x{cols}") as program:
+        pixels = [[Ciphertext(f"img_{r}_{c}") for c in range(cols)] for r in range(rows)]
+        for r in range(rows - 2):
+            for c in range(cols - 2):
+                window = [
+                    pixels[r + dr][c + dc] for dr in range(3) for dc in range(3)
+                ]
+                _accumulate(window).set_output(f"out_{r}_{c}")
+    return program
+
+
+_GX = ((-1, 0, 1), (-2, 0, 2), (-1, 0, 1))
+_GY = ((-1, -2, -1), (0, 0, 0), (1, 2, 1))
+
+
+def _convolve(name: str, rows: int, cols: int, weights) -> Program:
+    with Program(name) as program:
+        pixels = [[Ciphertext(f"img_{r}_{c}") for c in range(cols)] for r in range(rows)]
+        for r in range(rows - 2):
+            for c in range(cols - 2):
+                terms: List[Ciphertext] = []
+                for dr in range(3):
+                    for dc in range(3):
+                        weight = weights[dr][dc]
+                        if weight == 0:
+                            continue
+                        terms.append(pixels[r + dr][c + dc] * weight)
+                _accumulate(terms).set_output(f"out_{r}_{c}")
+    return program
+
+
+def gx_kernel(rows: int, cols: int | None = None) -> Program:
+    """Horizontal Sobel gradient (Gx) over an encrypted image."""
+    cols = cols if cols is not None else rows
+    return _convolve(f"gx_{rows}x{cols}", rows, cols, _GX)
+
+
+def gy_kernel(rows: int, cols: int | None = None) -> Program:
+    """Vertical Sobel gradient (Gy) over an encrypted image."""
+    cols = cols if cols is not None else rows
+    return _convolve(f"gy_{rows}x{cols}", rows, cols, _GY)
+
+
+def roberts_cross(rows: int, cols: int | None = None) -> Program:
+    """Roberts-cross edge detector (squared response, FHE-friendly)."""
+    cols = cols if cols is not None else rows
+    with Program(f"roberts_cross_{rows}x{cols}") as program:
+        pixels = [[Ciphertext(f"img_{r}_{c}") for c in range(cols)] for r in range(rows)]
+        for r in range(rows - 1):
+            for c in range(cols - 1):
+                diag1 = pixels[r][c] - pixels[r + 1][c + 1]
+                diag2 = pixels[r][c + 1] - pixels[r + 1][c]
+                (diag1 * diag1 + diag2 * diag2).set_output(f"out_{r}_{c}")
+    return program

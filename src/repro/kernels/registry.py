@@ -1,0 +1,199 @@
+"""Benchmark registry: the standard kernel list of the paper's evaluation.
+
+Each :class:`Benchmark` bundles the staged DSL program, an input generator
+(deterministic, seedable) and helpers to obtain the IR expression and the
+plaintext reference output — everything the experiment harness and the test
+suite need to compile, execute and verify a kernel end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.compiler.dsl import Program
+from repro.compiler.executor import reference_output
+from repro.ir.nodes import Expr
+from repro.kernels import coyote_suite, porcupine, trees
+
+__all__ = ["Benchmark", "benchmark_suite", "small_benchmark_suite", "benchmark_by_name"]
+
+
+@dataclass
+class Benchmark:
+    """One benchmark kernel: program builder plus input generation."""
+
+    name: str
+    #: Suite label ("porcupine", "coyote" or "trees").
+    suite: str
+    #: Builds the staged DSL program.
+    builder: Callable[[], Program]
+    #: Range of the random integer inputs (inclusive upper bound).
+    input_range: int = 7
+    #: Inputs restricted to {0, 1} (Hamming distance).
+    binary_inputs: bool = False
+    _program: Optional[Program] = field(default=None, repr=False)
+
+    # -- program / expression access ------------------------------------------------
+    def program(self) -> Program:
+        """The staged DSL program (built once and cached)."""
+        if self._program is None:
+            self._program = self.builder()
+        return self._program
+
+    def expression(self) -> Expr:
+        """The kernel's IR expression (single output or Vec of outputs)."""
+        return self.program().output_expr
+
+    @property
+    def input_names(self) -> List[str]:
+        return list(self.program().inputs)
+
+    # -- inputs and reference ----------------------------------------------------------
+    def sample_inputs(self, seed: int = 0) -> Dict[str, int]:
+        """Deterministic random integer inputs for every program input."""
+        rng = np.random.default_rng(seed)
+        high = 2 if self.binary_inputs else self.input_range + 1
+        return {name: int(rng.integers(0, high)) for name in self.input_names}
+
+    def reference(self, inputs: Dict[str, int]) -> List[int]:
+        """Plaintext reference output for ``inputs``."""
+        expr = self.expression()
+        from repro.ir.evaluate import output_arity
+
+        slots = max(64, output_arity(expr) + 8)
+        return reference_output(expr, inputs, slot_count=slots)
+
+
+def _porcupine_benchmarks() -> List[Benchmark]:
+    benchmarks: List[Benchmark] = []
+    for size in (3, 4, 5):
+        benchmarks.append(
+            Benchmark(f"box_blur_{size}x{size}", "porcupine", lambda s=size: porcupine.box_blur(s))
+        )
+    for size in (4, 8, 16, 32):
+        benchmarks.append(
+            Benchmark(f"dot_product_{size}", "porcupine", lambda s=size: porcupine.dot_product(s))
+        )
+        benchmarks.append(
+            Benchmark(
+                f"hamming_distance_{size}",
+                "porcupine",
+                lambda s=size: porcupine.hamming_distance(s),
+                binary_inputs=True,
+            )
+        )
+        benchmarks.append(
+            Benchmark(f"l2_distance_{size}", "porcupine", lambda s=size: porcupine.l2_distance(s))
+        )
+        benchmarks.append(
+            Benchmark(
+                f"linear_regression_{size}",
+                "porcupine",
+                lambda s=size: porcupine.linear_regression(s),
+            )
+        )
+        benchmarks.append(
+            Benchmark(
+                f"polynomial_regression_{size}",
+                "porcupine",
+                lambda s=size: porcupine.polynomial_regression(s),
+                input_range=4,
+            )
+        )
+    for size in (3, 4, 5):
+        benchmarks.append(
+            Benchmark(f"gx_{size}x{size}", "porcupine", lambda s=size: porcupine.gx_kernel(s))
+        )
+        benchmarks.append(
+            Benchmark(f"gy_{size}x{size}", "porcupine", lambda s=size: porcupine.gy_kernel(s))
+        )
+        benchmarks.append(
+            Benchmark(
+                f"roberts_cross_{size}x{size}",
+                "porcupine",
+                lambda s=size: porcupine.roberts_cross(s),
+            )
+        )
+    return benchmarks
+
+
+def _coyote_benchmarks() -> List[Benchmark]:
+    benchmarks: List[Benchmark] = []
+    for size in (3, 4, 5):
+        benchmarks.append(
+            Benchmark(
+                f"matrix_multiply_{size}x{size}",
+                "coyote",
+                lambda s=size: coyote_suite.matrix_multiply(s),
+                input_range=4,
+            )
+        )
+        benchmarks.append(
+            Benchmark(f"max_{size}", "coyote", lambda s=size: coyote_suite.max_tree(s), input_range=4)
+        )
+    for size in (3, 4):
+        benchmarks.append(
+            Benchmark(
+                f"sort_{size}", "coyote", lambda s=size: coyote_suite.sort_network(s), input_range=3
+            )
+        )
+    return benchmarks
+
+
+def _tree_benchmarks(include_deep: bool = True) -> List[Benchmark]:
+    configurations = [(50, 50, 5), (100, 50, 5), (100, 100, 5)]
+    if include_deep:
+        configurations.extend([(50, 50, 10), (100, 50, 8), (100, 100, 8)])
+    benchmarks: List[Benchmark] = []
+    for fullness, homogeneity, depth in configurations:
+        benchmarks.append(
+            Benchmark(
+                f"tree_{fullness}_{homogeneity}_{depth}",
+                "trees",
+                lambda f=fullness, h=homogeneity, d=depth: trees.tree_program(f, h, d),
+                input_range=2,
+            )
+        )
+    return benchmarks
+
+
+def benchmark_suite(include_deep_trees: bool = True) -> List[Benchmark]:
+    """The full benchmark suite (Porcupine + Coyote + polynomial trees)."""
+    suite: List[Benchmark] = []
+    suite.extend(_porcupine_benchmarks())
+    suite.extend(_coyote_benchmarks())
+    suite.extend(_tree_benchmarks(include_deep=include_deep_trees))
+    return suite
+
+
+def small_benchmark_suite() -> List[Benchmark]:
+    """A fast subset (small sizes) used by tests and quick experiment runs."""
+    names = {
+        "box_blur_3x3",
+        "dot_product_4",
+        "dot_product_8",
+        "hamming_distance_4",
+        "l2_distance_4",
+        "linear_regression_4",
+        "polynomial_regression_4",
+        "gx_3x3",
+        "gy_3x3",
+        "roberts_cross_3x3",
+        "matrix_multiply_3x3",
+        "max_3",
+        "sort_3",
+        "tree_50_50_5",
+        "tree_100_100_5",
+    }
+    return [benchmark for benchmark in benchmark_suite() if benchmark.name in names]
+
+
+def benchmark_by_name(name: str) -> Benchmark:
+    """Look up a benchmark by its name."""
+    for benchmark in benchmark_suite():
+        if benchmark.name == name:
+            return benchmark
+    raise KeyError(f"unknown benchmark {name!r}")

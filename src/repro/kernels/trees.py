@@ -1,0 +1,74 @@
+"""Randomly generated irregular polynomial trees (the Coyote stress test).
+
+Three regimes, following Appendix H.3:
+
+* ``tree-100-100-d`` -- dense, homogeneous: a full, complete tree of depth
+  ``d`` whose operations are all multiplications (best case for
+  vectorization);
+* ``tree-100-50-d`` -- dense, non-homogeneous: full and complete, each
+  internal node is an addition or a multiplication with probability 0.5;
+* ``tree-50-50-d`` -- sparse: many internal nodes have one leaf child and the
+  tree is unbalanced (worst case for vectorization).
+
+The generator is deterministic for a given ``(regime, depth, seed)`` so the
+benchmark suite is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compiler.dsl import Program
+from repro.ir.nodes import Add, Expr, Mul, Var
+
+__all__ = ["polynomial_tree", "tree_program"]
+
+
+def polynomial_tree(
+    fullness: int, homogeneity: int, depth: int, seed: Optional[int] = 0
+) -> Expr:
+    """Generate a ``tree-<fullness>-<homogeneity>-<depth>`` expression.
+
+    ``fullness`` ∈ {50, 100}: probability (%) that an internal node expands
+    both children to full depth; ``homogeneity`` ∈ {50, 100}: probability (%)
+    that an operation is a multiplication (100 = all multiplications).
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    rng = np.random.default_rng(seed)
+    counter = [0]
+
+    def leaf() -> Expr:
+        counter[0] += 1
+        return Var(f"x{counter[0] - 1}")
+
+    def grow(remaining: int) -> Expr:
+        if remaining <= 0:
+            return leaf()
+        if homogeneity >= 100:
+            op = Mul
+        else:
+            op = Mul if rng.random() < homogeneity / 100.0 else Add
+        if fullness >= 100:
+            left = grow(remaining - 1)
+            right = grow(remaining - 1)
+        else:
+            # Sparse regime: one child is frequently a bare leaf, producing an
+            # unbalanced, hard-to-vectorize tree.
+            left = grow(remaining - 1)
+            right = leaf() if rng.random() < 0.6 else grow(remaining - 1)
+        return op(left, right)
+
+    return grow(depth)
+
+
+def tree_program(fullness: int, homogeneity: int, depth: int, seed: Optional[int] = 0) -> Program:
+    """Wrap a generated polynomial tree in a DSL program."""
+    expr = polynomial_tree(fullness, homogeneity, depth, seed=seed)
+    with Program(f"tree_{fullness}_{homogeneity}_{depth}") as program:
+        program.register_output("result", expr)
+        for name in sorted({node.name for node in expr.walk() if isinstance(node, Var)}):
+            program.register_input(name)
+    return program

@@ -1,0 +1,96 @@
+"""Gated Recurrent Unit layers (the baseline encoder of the ablation).
+
+The GRU follows the standard formulation (update gate ``z``, reset gate
+``r``, candidate state ``h~``).  :class:`GRU` runs a full sequence and can be
+bidirectional, matching the 4-layer bidirectional encoder used by the
+paper's autoencoder comparison (Appendix I.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """A single GRU step: ``h_t = GRU(x_t, h_{t-1})``."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, seed: Optional[int] = None) -> None:
+        super().__init__()
+        base = 0 if seed is None else seed
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.update_gate = Linear(input_dim + hidden_dim, hidden_dim, seed=base + 1)
+        self.reset_gate = Linear(input_dim + hidden_dim, hidden_dim, seed=base + 2)
+        self.candidate = Linear(input_dim + hidden_dim, hidden_dim, seed=base + 3)
+
+    def forward(self, inputs: Tensor, hidden: Tensor) -> Tensor:
+        combined = Tensor.concatenate([inputs, hidden], axis=-1)
+        update = self.update_gate(combined).sigmoid()
+        reset = self.reset_gate(combined).sigmoid()
+        candidate_input = Tensor.concatenate([inputs, reset * hidden], axis=-1)
+        candidate = self.candidate(candidate_input).tanh()
+        return (Tensor(1.0) - update) * hidden + update * candidate
+
+
+class GRU(Module):
+    """A (possibly bidirectional, possibly stacked) GRU over a sequence."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        num_layers: int = 1,
+        bidirectional: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.bidirectional = bidirectional
+        directions = 2 if bidirectional else 1
+        for layer in range(num_layers):
+            layer_input = input_dim if layer == 0 else hidden_dim * directions
+            base = None if seed is None else seed + 10 * (layer + 1)
+            setattr(self, f"forward_cell{layer}", GRUCell(layer_input, hidden_dim, seed=base))
+            if bidirectional:
+                back = None if base is None else base + 5
+                setattr(self, f"backward_cell{layer}", GRUCell(layer_input, hidden_dim, seed=back))
+
+    def _run_direction(self, cell: GRUCell, inputs: Tensor, reverse: bool) -> Tensor:
+        batch, length, _ = inputs.shape
+        hidden = Tensor(np.zeros((batch, cell.hidden_dim)))
+        outputs: List[Tensor] = []
+        indices = range(length - 1, -1, -1) if reverse else range(length)
+        for index in indices:
+            hidden = cell(inputs[:, index, :], hidden)
+            outputs.append(hidden)
+        if reverse:
+            outputs = outputs[::-1]
+        return Tensor.stack(outputs, axis=1)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        """Return per-step hidden states of shape ``(batch, length, H*directions)``."""
+        hidden = inputs
+        for layer in range(self.num_layers):
+            forward_cell = getattr(self, f"forward_cell{layer}")
+            forward_states = self._run_direction(forward_cell, hidden, reverse=False)
+            if self.bidirectional:
+                backward_cell = getattr(self, f"backward_cell{layer}")
+                backward_states = self._run_direction(backward_cell, hidden, reverse=True)
+                hidden = Tensor.concatenate([forward_states, backward_states], axis=-1)
+            else:
+                hidden = forward_states
+        return hidden
+
+    def encode(self, inputs: Tensor) -> Tensor:
+        """Final-step summary vector of shape ``(batch, H*directions)``."""
+        states = self.forward(inputs)
+        return states[:, -1, :]

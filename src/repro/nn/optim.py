@@ -1,0 +1,113 @@
+"""Optimizers: SGD (with momentum) and Adam."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+__all__ = ["SGD", "Adam"]
+
+
+class _Optimizer:
+    """Shared machinery: parameter list, zero_grad, gradient clipping."""
+
+    def __init__(self, parameters: List[Parameter], learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        self.learning_rate = learning_rate
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Clip the global gradient norm; returns the pre-clip norm."""
+        total = 0.0
+        for parameter in self.parameters:
+            if parameter.grad is not None:
+                total += float(np.sum(parameter.grad ** 2))
+        norm = float(np.sqrt(total))
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for parameter in self.parameters:
+                if parameter.grad is not None:
+                    parameter.grad *= scale
+        return norm
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        learning_rate: float = 1e-2,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            update = parameter.grad
+            if self.momentum > 0:
+                velocity = self._velocity.get(id(parameter))
+                if velocity is None:
+                    velocity = np.zeros_like(parameter.data)
+                velocity = self.momentum * velocity + update
+                self._velocity[id(parameter)] = velocity
+                update = velocity
+            parameter.data -= self.learning_rate * update
+
+
+class Adam(_Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        learning_rate: float = 1e-4,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._moment1: Dict[int, np.ndarray] = {}
+        self._moment2: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * parameter.data
+            m = self._moment1.get(id(parameter))
+            v = self._moment2.get(id(parameter))
+            if m is None:
+                m = np.zeros_like(parameter.data)
+                v = np.zeros_like(parameter.data)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad ** 2
+            self._moment1[id(parameter)] = m
+            self._moment2[id(parameter)] = v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,34 @@
+"""Parameter (de)serialization for modules.
+
+Checkpoints are plain ``.npz`` archives keyed by the dotted parameter names
+returned by :meth:`repro.nn.layers.Module.named_parameters`, so they are
+portable, inspectable and independent of pickling.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: Union[str, os.PathLike]) -> None:
+    """Save ``module``'s parameters to ``path`` (``.npz``)."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez(os.fspath(path), **state)
+
+
+def load_module(module: Module, path: Union[str, os.PathLike]) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module`` (in place)."""
+    with np.load(os.fspath(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,360 @@
+"""A reverse-mode automatic-differentiation tensor on top of numpy.
+
+Only the operations needed by the policy/critic networks, the Transformer
+and GRU encoders and the PPO loss are implemented, but each is implemented
+with full broadcasting support so the layers read like their PyTorch
+counterparts.  Gradients are accumulated in ``Tensor.grad`` by calling
+``backward()`` on a scalar loss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor"]
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` (reverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading broadcast dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode autograd."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _prev: Tuple["Tensor", ...] = (),
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Optional[Callable[[], None]] = None
+        self._prev: Tuple[Tensor, ...] = _prev
+
+    # -- basic properties -------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    # -- graph helpers ------------------------------------------------------------
+    @staticmethod
+    def _wrap(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(self, data: np.ndarray, prev: Tuple["Tensor", ...]) -> "Tensor":
+        requires_grad = any(p.requires_grad for p in prev)
+        return Tensor(data, requires_grad=requires_grad, _prev=prev if requires_grad else ())
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    # -- arithmetic ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+        out = self._make(self.data + other.data, (self, other))
+
+        def _backward() -> None:
+            self._accumulate(_unbroadcast(out.grad, self.data.shape))
+            other._accumulate(_unbroadcast(out.grad, other.data.shape))
+
+        out._backward = _backward
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = self._make(-self.data, (self,))
+
+        def _backward() -> None:
+            self._accumulate(-out.grad)
+
+        out._backward = _backward
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-self._wrap(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._wrap(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+        out = self._make(self.data * other.data, (self, other))
+
+        def _backward() -> None:
+            self._accumulate(_unbroadcast(out.grad * other.data, self.data.shape))
+            other._accumulate(_unbroadcast(out.grad * self.data, other.data.shape))
+
+        out._backward = _backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+        return self * other ** -1.0
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._wrap(other) * self ** -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out = self._make(self.data ** exponent, (self,))
+
+        def _backward() -> None:
+            self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = _backward
+        return out
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = self._wrap(other)
+        out = self._make(self.data @ other.data, (self, other))
+
+        def _backward() -> None:
+            grad = out.grad
+            if self.requires_grad:
+                self_grad = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(self_grad, self.data.shape))
+            if other.requires_grad:
+                other_grad = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(other_grad, other.data.shape))
+
+        out._backward = _backward
+        return out
+
+    __matmul__ = matmul
+
+    # -- elementwise non-linearities ----------------------------------------------------
+    def exp(self) -> "Tensor":
+        out = self._make(np.exp(self.data), (self,))
+
+        def _backward() -> None:
+            self._accumulate(out.grad * out.data)
+
+        out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make(np.log(self.data), (self,))
+
+        def _backward() -> None:
+            self._accumulate(out.grad / self.data)
+
+        out._backward = _backward
+        return out
+
+    def tanh(self) -> "Tensor":
+        out = self._make(np.tanh(self.data), (self,))
+
+        def _backward() -> None:
+            self._accumulate(out.grad * (1.0 - out.data ** 2))
+
+        out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out = self._make(1.0 / (1.0 + np.exp(-self.data)), (self,))
+
+        def _backward() -> None:
+            self._accumulate(out.grad * out.data * (1.0 - out.data))
+
+        out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        out = self._make(np.maximum(self.data, 0.0), (self,))
+
+        def _backward() -> None:
+            self._accumulate(out.grad * (self.data > 0.0))
+
+        out._backward = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    # -- reductions -------------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        out = self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+
+        def _backward() -> None:
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            self._accumulate(np.broadcast_to(grad, self.data.shape).copy())
+
+        out._backward = _backward
+        return out
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make(out_data, (self,))
+
+        def _backward() -> None:
+            grad = out.grad
+            expanded = grad if keepdims else np.expand_dims(grad, axis=axis)
+            max_expanded = out_data if keepdims else np.expand_dims(out_data, axis=axis)
+            mask = self.data == max_expanded
+            mask = mask / mask.sum(axis=axis, keepdims=True)
+            self._accumulate(expanded * mask)
+
+        out._backward = _backward
+        return out
+
+    # -- shape manipulation --------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        out = self._make(self.data.reshape(shape), (self,))
+
+        def _backward() -> None:
+            self._accumulate(out.grad.reshape(self.data.shape))
+
+        out._backward = _backward
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes = axes or tuple(reversed(range(self.data.ndim)))
+        out = self._make(self.data.transpose(axes), (self,))
+        inverse = np.argsort(axes)
+
+        def _backward() -> None:
+            self._accumulate(out.grad.transpose(inverse))
+
+        out._backward = _backward
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make(self.data[index], (self,))
+
+        def _backward() -> None:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, out.grad)
+            self._accumulate(grad)
+
+        out._backward = _backward
+        return out
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._wrap(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        requires_grad = any(t.requires_grad for t in tensors)
+        out = Tensor(data, requires_grad=requires_grad, _prev=tuple(tensors) if requires_grad else ())
+
+        def _backward() -> None:
+            sizes = [t.data.shape[axis] for t in tensors]
+            offsets = np.cumsum([0] + sizes)
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                slicer = [slice(None)] * out.grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(out.grad[tuple(slicer)])
+
+        out._backward = _backward
+        return out
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._wrap(t) for t in tensors]
+        data = np.stack([t.data for t in tensors], axis=axis)
+        requires_grad = any(t.requires_grad for t in tensors)
+        out = Tensor(data, requires_grad=requires_grad, _prev=tuple(tensors) if requires_grad else ())
+
+        def _backward() -> None:
+            grads = np.split(out.grad, len(tensors), axis=axis)
+            for tensor, grad in zip(tensors, grads):
+                tensor._accumulate(np.squeeze(grad, axis=axis))
+
+        out._backward = _backward
+        return out
+
+    # -- softmax family --------------------------------------------------------------------------
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = self._make(shifted - log_sum, (self,))
+
+        def _backward() -> None:
+            softmax = np.exp(out.data)
+            grad = out.grad - softmax * out.grad.sum(axis=axis, keepdims=True)
+            self._accumulate(grad)
+
+        out._backward = _backward
+        return out
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        return self.log_softmax(axis=axis).exp()
+
+    # -- backward pass -----------------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor (must be scalar unless ``grad`` given)."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a gradient requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        self.grad = np.asarray(grad, dtype=np.float64)
+
+        ordered: List[Tensor] = []
+        visited: Set[int] = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if id(node) in visited:
+                continue
+            if expanded:
+                visited.add(id(node))
+                ordered.append(node)
+                continue
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        for node in reversed(ordered):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    def zero_grad(self) -> None:
+        self.grad = None

@@ -1,0 +1,43 @@
+"""Reinforcement-learning framework for FHE circuit optimization.
+
+The framework mirrors the paper's design (Sec. 5):
+
+* :mod:`repro.rl.env` -- the MDP: states are IR expressions, actions are
+  ``(rewrite rule, location)`` pairs plus ``END``, rewards come from the
+  analytical FHE cost function;
+* :mod:`repro.rl.reward` -- the step + terminal reward structure and its
+  configurable weights;
+* :mod:`repro.rl.policy` -- the hierarchical actor-critic (Transformer state
+  encoder, rule-selection network, location-selection network, critic);
+* :mod:`repro.rl.flat_policy` -- the flat rule×location baseline of the
+  action-space ablation;
+* :mod:`repro.rl.ppo` -- Proximal Policy Optimization with GAE;
+* :mod:`repro.rl.agent` -- the deployable agent: a trained policy plus
+  tokenizer exposed through ``optimize(expr)`` so it plugs straight into the
+  compiler pipeline;
+* :mod:`repro.rl.autoencoder` -- Transformer/GRU autoencoders for the
+  encoder-architecture ablation (Fig. 11, Table 7).
+"""
+
+from repro.rl.reward import RewardConfig
+from repro.rl.env import EnvConfig, FheRewriteEnv, Observation
+from repro.rl.policy import HierarchicalActorCritic, PolicyConfig
+from repro.rl.flat_policy import FlatActorCritic
+from repro.rl.rollout import RolloutBuffer
+from repro.rl.ppo import PPOConfig, PPOTrainer, TrainingHistory
+from repro.rl.agent import ChehabAgent
+
+__all__ = [
+    "RewardConfig",
+    "EnvConfig",
+    "FheRewriteEnv",
+    "Observation",
+    "PolicyConfig",
+    "HierarchicalActorCritic",
+    "FlatActorCritic",
+    "RolloutBuffer",
+    "PPOConfig",
+    "PPOTrainer",
+    "TrainingHistory",
+    "ChehabAgent",
+]

@@ -1,0 +1,217 @@
+"""Proximal Policy Optimization (the training algorithm of paper Sec. 7.1).
+
+The trainer follows the Stable-Baselines3 recipe the paper uses: collect
+``steps_per_update`` transitions from several round-robin environment
+copies, compute GAE advantages, then run ``update_epochs`` passes of
+minibatch updates of the clipped surrogate objective with a value-function
+loss and an entropy bonus.  Hyper-parameter defaults mirror the paper's
+Table 4 (learning rate 1e-4, γ=0.99, λ=0.95, clip 0.2, 20 epochs, 2048 steps
+per update, batch size 256, 8 environments), and every value can be scaled
+down for the reproduction's short training runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.rl.env import FheRewriteEnv, Observation
+from repro.rl.rollout import RolloutBuffer
+
+__all__ = ["PPOConfig", "TrainingHistory", "PPOTrainer"]
+
+
+@dataclass
+class PPOConfig:
+    """PPO hyper-parameters (paper Table 4 defaults)."""
+
+    learning_rate: float = 1e-4
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    clip_range: float = 0.2
+    update_epochs: int = 20
+    steps_per_update: int = 2048
+    batch_size: int = 256
+    value_coefficient: float = 0.5
+    entropy_coefficient: float = 0.01
+    max_grad_norm: float = 0.5
+    seed: Optional[int] = None
+
+    @classmethod
+    def small(cls, seed: Optional[int] = 0) -> "PPOConfig":
+        """A scaled-down configuration for tests and quick experiments."""
+        return cls(
+            learning_rate=3e-4,
+            update_epochs=2,
+            steps_per_update=64,
+            batch_size=16,
+            seed=seed,
+        )
+
+
+@dataclass
+class TrainingHistory:
+    """Per-update training statistics (the learning curves of Figs. 10/13)."""
+
+    timesteps: List[int] = field(default_factory=list)
+    mean_episode_reward: List[float] = field(default_factory=list)
+    mean_episode_improvement: List[float] = field(default_factory=list)
+    policy_loss: List[float] = field(default_factory=list)
+    value_loss: List[float] = field(default_factory=list)
+    entropy: List[float] = field(default_factory=list)
+    wall_clock_s: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {
+            "timesteps": list(self.timesteps),
+            "mean_episode_reward": list(self.mean_episode_reward),
+            "mean_episode_improvement": list(self.mean_episode_improvement),
+            "policy_loss": list(self.policy_loss),
+            "value_loss": list(self.value_loss),
+            "entropy": list(self.entropy),
+            "wall_clock_s": list(self.wall_clock_s),
+        }
+
+
+class PPOTrainer:
+    """Trains an actor-critic policy on the FHE-rewriting environment."""
+
+    def __init__(
+        self,
+        policy,
+        envs: Sequence[FheRewriteEnv],
+        config: Optional[PPOConfig] = None,
+    ) -> None:
+        if not envs:
+            raise ValueError("PPOTrainer requires at least one environment")
+        self.policy = policy
+        self.envs = list(envs)
+        self.config = config if config is not None else PPOConfig()
+        self.optimizer = Adam(policy.parameters(), learning_rate=self.config.learning_rate)
+        self._rng = np.random.default_rng(self.config.seed)
+        self.history = TrainingHistory()
+        self.total_timesteps = 0
+
+    # -- experience collection ----------------------------------------------------
+    def _collect(self, buffer: RolloutBuffer) -> Dict[str, float]:
+        observations: List[Observation] = [env.reset() for env in self.envs]
+        episode_rewards: List[float] = []
+        episode_improvements: List[float] = []
+        steps = 0
+        env_index = 0
+        while steps < self.config.steps_per_update:
+            env = self.envs[env_index]
+            observation = observations[env_index]
+            action, log_prob, value = self.policy.act(observation)
+            next_observation, reward, done, info = env.step(action)
+            buffer.add(observation, action, log_prob, value, reward, done)
+            steps += 1
+            if done:
+                episode_rewards.append(env.episode_reward)
+                episode_improvements.append(float(info.get("improvement", 0.0)))
+                observations[env_index] = env.reset()
+            else:
+                observations[env_index] = next_observation
+            env_index = (env_index + 1) % len(self.envs)
+        # Bootstrap from the value of the last observation of env 0.
+        last_value = self.policy.value(observations[0])
+        buffer.compute_advantages(last_value=last_value)
+        self.total_timesteps += steps
+        return {
+            "mean_episode_reward": float(np.mean(episode_rewards)) if episode_rewards else 0.0,
+            "mean_episode_improvement": (
+                float(np.mean(episode_improvements)) if episode_improvements else 0.0
+            ),
+        }
+
+    # -- updates ---------------------------------------------------------------------
+    def _update(self, buffer: RolloutBuffer) -> Dict[str, float]:
+        policy_losses: List[float] = []
+        value_losses: List[float] = []
+        entropies: List[float] = []
+        for _ in range(self.config.update_epochs):
+            for batch in buffer.minibatches(self.config.batch_size, self._rng):
+                evaluation = self.policy.evaluate_actions(
+                    batch["tokens"],
+                    batch["padding_masks"],
+                    batch["rule_masks"],
+                    batch["location_counts"],
+                    batch["rule_actions"],
+                    batch["location_actions"],
+                )
+                log_prob = evaluation["log_prob"]
+                entropy = evaluation["entropy"].mean()
+                values = evaluation["value"]
+
+                advantages = Tensor(batch["advantages"])
+                returns = Tensor(batch["returns"])
+                old_log_prob = Tensor(batch["log_probs"])
+
+                ratio = (log_prob - old_log_prob).exp()
+                clipped = _clip(ratio, 1.0 - self.config.clip_range, 1.0 + self.config.clip_range)
+                surrogate = _elementwise_min(ratio * advantages, clipped * advantages)
+                policy_loss = -surrogate.mean()
+
+                value_error = values - returns
+                value_loss = (value_error * value_error).mean()
+
+                loss = (
+                    policy_loss
+                    + self.config.value_coefficient * value_loss
+                    - self.config.entropy_coefficient * entropy
+                )
+
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.clip_grad_norm(self.config.max_grad_norm)
+                self.optimizer.step()
+
+                policy_losses.append(policy_loss.item())
+                value_losses.append(value_loss.item())
+                entropies.append(entropy.item())
+        return {
+            "policy_loss": float(np.mean(policy_losses)) if policy_losses else 0.0,
+            "value_loss": float(np.mean(value_losses)) if value_losses else 0.0,
+            "entropy": float(np.mean(entropies)) if entropies else 0.0,
+        }
+
+    # -- driver ------------------------------------------------------------------------
+    def train(
+        self,
+        total_timesteps: int,
+        progress_callback: Optional[Callable[[TrainingHistory], None]] = None,
+    ) -> TrainingHistory:
+        """Run PPO until ``total_timesteps`` environment steps were collected."""
+        start = time.perf_counter()
+        while self.total_timesteps < total_timesteps:
+            buffer = RolloutBuffer(gamma=self.config.gamma, gae_lambda=self.config.gae_lambda)
+            collection_stats = self._collect(buffer)
+            update_stats = self._update(buffer)
+            self.history.timesteps.append(self.total_timesteps)
+            self.history.mean_episode_reward.append(collection_stats["mean_episode_reward"])
+            self.history.mean_episode_improvement.append(
+                collection_stats["mean_episode_improvement"]
+            )
+            self.history.policy_loss.append(update_stats["policy_loss"])
+            self.history.value_loss.append(update_stats["value_loss"])
+            self.history.entropy.append(update_stats["entropy"])
+            self.history.wall_clock_s.append(time.perf_counter() - start)
+            if progress_callback is not None:
+                progress_callback(self.history)
+        return self.history
+
+
+def _clip(tensor: Tensor, low: float, high: float) -> Tensor:
+    """Differentiable clip built from ReLU pieces."""
+    clipped_low = (tensor - low).relu() + low
+    return high - (high - clipped_low).relu()
+
+
+def _elementwise_min(a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable element-wise minimum."""
+    return b - (b - a).relu()

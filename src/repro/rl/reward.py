@@ -1,0 +1,56 @@
+"""Reward structure of the optimization MDP (paper Sec. 5.3).
+
+The reward has two parts:
+
+* a **step reward** after every action: the relative cost improvement
+  ``(C_t - C_{t+1}) / C_t``;
+* a **terminal reward** at the end of the episode: the total relative
+  reduction ``(C_initial - C_final) / C_initial × 100``.
+
+The underlying cost is the FHE-aware analytical cost of
+:class:`repro.core.cost.CostModel`; its ``(w_ops, w_depth, w_mult)`` weights
+are what the reward-weight ablation (Table 1) varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cost import CostModel, CostWeights
+
+__all__ = ["RewardConfig"]
+
+
+@dataclass
+class RewardConfig:
+    """Configuration of the reward signal."""
+
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: Include the terminal reward (the step-only ablation disables this).
+    use_terminal_reward: bool = True
+    #: Scale of the terminal reward; the paper multiplies the relative
+    #: improvement by 100.
+    terminal_scale: float = 100.0
+    #: Small penalty per step, discouraging pointless rewrites.
+    step_penalty: float = 0.01
+    #: Penalty for selecting an inapplicable rule.
+    invalid_action_penalty: float = 0.1
+
+    @classmethod
+    def with_weights(cls, ops: float, depth: float, mult: float, **kwargs) -> "RewardConfig":
+        """Convenience constructor used by the reward-weight ablation."""
+        model = CostModel(weights=CostWeights(ops=ops, depth=depth, mult_depth=mult))
+        return cls(cost_model=model, **kwargs)
+
+    # -- reward computation -----------------------------------------------------
+    def step_reward(self, cost_before: float, cost_after: float) -> float:
+        """Immediate reward of one rewrite."""
+        if cost_before <= 0:
+            return -self.step_penalty
+        return (cost_before - cost_after) / cost_before - self.step_penalty
+
+    def terminal_reward(self, initial_cost: float, final_cost: float) -> float:
+        """End-of-episode reward (zero when terminal rewards are disabled)."""
+        if not self.use_terminal_reward or initial_cost <= 0:
+            return 0.0
+        return ((initial_cost - final_cost) / initial_cost) * self.terminal_scale

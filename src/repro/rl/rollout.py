@@ -1,0 +1,120 @@
+"""Rollout storage and Generalized Advantage Estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.rl.env import Observation
+
+__all__ = ["RolloutBuffer"]
+
+
+@dataclass
+class RolloutBuffer:
+    """Stores one batch of environment transitions and computes GAE targets."""
+
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+
+    tokens: List[np.ndarray] = field(default_factory=list)
+    padding_masks: List[np.ndarray] = field(default_factory=list)
+    rule_masks: List[np.ndarray] = field(default_factory=list)
+    location_counts: List[np.ndarray] = field(default_factory=list)
+    rule_actions: List[int] = field(default_factory=list)
+    location_actions: List[int] = field(default_factory=list)
+    log_probs: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    rewards: List[float] = field(default_factory=list)
+    dones: List[bool] = field(default_factory=list)
+
+    advantages: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    returns: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def add(
+        self,
+        observation: Observation,
+        action: Tuple[int, int],
+        log_prob: float,
+        value: float,
+        reward: float,
+        done: bool,
+    ) -> None:
+        self.tokens.append(observation.tokens.copy())
+        self.padding_masks.append(observation.padding_mask.copy())
+        self.rule_masks.append(observation.rule_mask.copy())
+        self.location_counts.append(observation.location_counts.copy())
+        self.rule_actions.append(int(action[0]))
+        self.location_actions.append(int(action[1]))
+        self.log_probs.append(float(log_prob))
+        self.values.append(float(value))
+        self.rewards.append(float(reward))
+        self.dones.append(bool(done))
+
+    def __len__(self) -> int:
+        return len(self.rewards)
+
+    def compute_advantages(self, last_value: float = 0.0) -> None:
+        """Compute GAE advantages and discounted returns in place."""
+        size = len(self)
+        advantages = np.zeros(size)
+        last_advantage = 0.0
+        next_value = last_value
+        for index in reversed(range(size)):
+            non_terminal = 0.0 if self.dones[index] else 1.0
+            delta = (
+                self.rewards[index]
+                + self.gamma * next_value * non_terminal
+                - self.values[index]
+            )
+            last_advantage = (
+                delta + self.gamma * self.gae_lambda * non_terminal * last_advantage
+            )
+            advantages[index] = last_advantage
+            next_value = self.values[index]
+        self.advantages = advantages
+        self.returns = advantages + np.asarray(self.values)
+
+    def minibatches(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> Iterator[Dict[str, np.ndarray]]:
+        """Yield shuffled minibatches as dictionaries of numpy arrays."""
+        size = len(self)
+        if size == 0:
+            return
+        indices = rng.permutation(size)
+        advantages = self.advantages
+        if advantages.std() > 1e-8:
+            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+        for start in range(0, size, batch_size):
+            batch = indices[start : start + batch_size]
+            yield {
+                "tokens": np.stack([self.tokens[i] for i in batch]),
+                "padding_masks": np.stack([self.padding_masks[i] for i in batch]),
+                "rule_masks": np.stack([self.rule_masks[i] for i in batch]),
+                "location_counts": np.stack([self.location_counts[i] for i in batch]),
+                "rule_actions": np.asarray([self.rule_actions[i] for i in batch]),
+                "location_actions": np.asarray([self.location_actions[i] for i in batch]),
+                "log_probs": np.asarray([self.log_probs[i] for i in batch]),
+                "advantages": advantages[batch],
+                "returns": self.returns[batch],
+            }
+
+    def clear(self) -> None:
+        for attribute in (
+            self.tokens,
+            self.padding_masks,
+            self.rule_masks,
+            self.location_counts,
+            self.rule_actions,
+            self.location_actions,
+            self.log_probs,
+            self.values,
+            self.rewards,
+            self.dones,
+        ):
+            attribute.clear()
+        self.advantages = np.zeros(0)
+        self.returns = np.zeros(0)

@@ -1,0 +1,42 @@
+"""Term Rewriting System (TRS) driving CHEHAB's code optimization.
+
+The TRS is the action space of the RL agent: 84 rewrite rules (plus the
+``END`` action) spanning
+
+* vectorization of isomorphic and non-isomorphic scalar sub-expressions,
+* algebraic simplification (identities, absorption, factorization,
+  constant folding, plaintext consolidation),
+* arithmetic transformations (commutativity, associativity, distribution)
+  that enable later simplification or vectorization,
+* circuit balancing to reduce (multiplicative) depth,
+* rotation rules, including composite rules that turn sum-of-product
+  patterns into a multiply/rotate/add dataflow.
+
+Every rule is semantics preserving with respect to the IR's evaluation
+semantics (checked by the property-based test-suite).
+"""
+
+from repro.trs.rule import FunctionRule, PatternRule, Rule, RuleApplicationError, pattern
+from repro.trs.registry import RuleSet, default_ruleset
+from repro.trs.rewriter import (
+    BeamSearchRewriter,
+    GreedyRewriter,
+    RandomRewriter,
+    RewriteStep,
+    apply_sequence,
+)
+
+__all__ = [
+    "Rule",
+    "PatternRule",
+    "FunctionRule",
+    "RuleApplicationError",
+    "pattern",
+    "RuleSet",
+    "default_ruleset",
+    "GreedyRewriter",
+    "BeamSearchRewriter",
+    "RandomRewriter",
+    "RewriteStep",
+    "apply_sequence",
+]

@@ -1,0 +1,129 @@
+"""The default rule set: 84 rewrite rules plus the ``END`` action.
+
+The rule set is the agent's action space.  Rules are indexed in a stable
+order so that a trained policy's action indices remain meaningful across
+runs; the ``END`` action always has the last index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.ir.nodes import Expr
+from repro.trs.rule import Rule
+from repro.trs.rules.algebraic import algebraic_rules
+from repro.trs.rules.balance import balance_rules
+from repro.trs.rules.rotation import rotation_rules
+from repro.trs.rules.vectorize import vectorization_rules
+
+__all__ = ["RuleSet", "default_ruleset", "END_ACTION_NAME"]
+
+#: Name of the special episode-terminating action.
+END_ACTION_NAME = "END"
+
+
+class RuleSet:
+    """An ordered, indexable collection of rewrite rules plus ``END``.
+
+    The ``END`` action is not a rule; it carries the index ``len(rules)`` and
+    is exposed through :attr:`end_index` so policies can select it uniformly
+    with rewrite rules.
+    """
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        if not rules:
+            raise ValueError("a RuleSet needs at least one rule")
+        names = [rule.name for rule in rules]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate rule names: {sorted(duplicates)}")
+        self._rules: Tuple[Rule, ...] = tuple(rules)
+        self._by_name: Dict[str, int] = {rule.name: i for i, rule in enumerate(rules)}
+
+    # -- container protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __getitem__(self, index: int) -> Rule:
+        return self._rules[index]
+
+    # -- lookups ----------------------------------------------------------------
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        return self._rules
+
+    @property
+    def names(self) -> List[str]:
+        """Rule names in index order (without ``END``)."""
+        return [rule.name for rule in self._rules]
+
+    @property
+    def action_count(self) -> int:
+        """Number of actions a policy chooses from (rules plus ``END``)."""
+        return len(self._rules) + 1
+
+    @property
+    def end_index(self) -> int:
+        """Action index of the ``END`` action."""
+        return len(self._rules)
+
+    def index_of(self, name: str) -> int:
+        """Index of the rule called ``name``."""
+        return self._by_name[name]
+
+    def by_name(self, name: str) -> Rule:
+        """The rule called ``name``."""
+        return self._rules[self._by_name[name]]
+
+    def categories(self) -> Dict[str, List[str]]:
+        """Rule names grouped by category (for documentation and reporting)."""
+        grouped: Dict[str, List[str]] = {}
+        for rule in self._rules:
+            grouped.setdefault(rule.category, []).append(rule.name)
+        return grouped
+
+    # -- applicability ------------------------------------------------------------
+    def applicable_rules(self, expr: Expr) -> List[int]:
+        """Indices of the rules that match somewhere in ``expr``."""
+        return [index for index, rule in enumerate(self._rules) if rule.applicable(expr)]
+
+    def action_mask(self, expr: Expr, include_end: bool = True) -> List[bool]:
+        """Boolean mask over the action space (``END`` is always valid)."""
+        mask = [rule.applicable(expr) for rule in self._rules]
+        if include_end:
+            mask.append(True)
+        return mask
+
+    def match_locations(self, rule_index: int, expr: Expr) -> List[Tuple[int, ...]]:
+        """Locations where rule ``rule_index`` matches in ``expr``."""
+        return self._rules[rule_index].find(expr)
+
+    def apply(
+        self, expr: Expr, rule_index: int, location_index: int = 0
+    ) -> Expr:
+        """Apply rule ``rule_index`` at its ``location_index``-th match."""
+        rule = self._rules[rule_index]
+        locations = rule.find(expr)
+        if not locations:
+            raise ValueError(f"rule {rule.name!r} does not match the expression")
+        location_index = min(location_index, len(locations) - 1)
+        return rule.apply_at(expr, locations[location_index])
+
+
+_DEFAULT_RULESET: Optional[RuleSet] = None
+
+
+def default_ruleset() -> RuleSet:
+    """The default 84-rule TRS used throughout the paper's evaluation."""
+    global _DEFAULT_RULESET
+    if _DEFAULT_RULESET is None:
+        rules: List[Rule] = []
+        rules.extend(algebraic_rules())
+        rules.extend(vectorization_rules())
+        rules.extend(rotation_rules())
+        rules.extend(balance_rules())
+        _DEFAULT_RULESET = RuleSet(rules)
+    return _DEFAULT_RULESET

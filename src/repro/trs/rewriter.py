@@ -1,0 +1,267 @@
+"""Rewrite engines built on top of the rule set.
+
+Besides the RL policy (which lives in :mod:`repro.rl`), the reproduction
+provides three classical drivers of the same action space:
+
+* :class:`GreedyRewriter` -- the original CHEHAB behaviour: repeatedly apply
+  the single (rule, location) whose application reduces the analytical cost
+  the most, stopping when no rule improves the cost;
+* :class:`BeamSearchRewriter` -- a small beam search over rewrite sequences,
+  used as an upper-quality/slower reference point;
+* :class:`RandomRewriter` -- applies random applicable rules; used by tests
+  and as a sanity baseline.
+
+All drivers return both the optimized expression and the sequence of
+:class:`RewriteStep` records, so compilation reports can show exactly which
+rules were applied where.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.cost import CostModel
+from repro.ir.nodes import Expr
+from repro.trs.registry import RuleSet, default_ruleset
+
+__all__ = [
+    "RewriteStep",
+    "RewriteResult",
+    "apply_sequence",
+    "GreedyRewriter",
+    "BeamSearchRewriter",
+    "RandomRewriter",
+]
+
+
+@dataclass(frozen=True)
+class RewriteStep:
+    """One applied rewrite: which rule, at which match index, and the costs."""
+
+    rule_name: str
+    rule_index: int
+    location_index: int
+    cost_before: float
+    cost_after: float
+
+
+@dataclass
+class RewriteResult:
+    """Outcome of running a rewrite driver on an expression."""
+
+    initial: Expr
+    optimized: Expr
+    steps: List[RewriteStep]
+    initial_cost: float
+    final_cost: float
+
+    @property
+    def improvement(self) -> float:
+        """Fractional cost reduction (0 when the cost did not improve)."""
+        if self.initial_cost <= 0:
+            return 0.0
+        return max(0.0, (self.initial_cost - self.final_cost) / self.initial_cost)
+
+
+def apply_sequence(
+    expr: Expr,
+    actions: Sequence[Tuple[int, int]],
+    ruleset: Optional[RuleSet] = None,
+    cost_model: Optional[CostModel] = None,
+) -> RewriteResult:
+    """Apply an explicit sequence of ``(rule_index, location_index)`` actions."""
+    ruleset = ruleset if ruleset is not None else default_ruleset()
+    cost_model = cost_model if cost_model is not None else CostModel()
+    steps: List[RewriteStep] = []
+    initial_cost = cost_model.cost(expr)
+    current = expr
+    for rule_index, location_index in actions:
+        if rule_index == ruleset.end_index:
+            break
+        rule = ruleset[rule_index]
+        locations = rule.find(current)
+        if not locations:
+            continue
+        location_index = min(location_index, len(locations) - 1)
+        cost_before = cost_model.cost(current)
+        current = rule.apply_at(current, locations[location_index])
+        steps.append(
+            RewriteStep(
+                rule_name=rule.name,
+                rule_index=rule_index,
+                location_index=location_index,
+                cost_before=cost_before,
+                cost_after=cost_model.cost(current),
+            )
+        )
+    return RewriteResult(
+        initial=expr,
+        optimized=current,
+        steps=steps,
+        initial_cost=initial_cost,
+        final_cost=cost_model.cost(current),
+    )
+
+
+class GreedyRewriter:
+    """Best-improvement greedy rewriting (the non-RL CHEHAB baseline)."""
+
+    def __init__(
+        self,
+        ruleset: Optional[RuleSet] = None,
+        cost_model: Optional[CostModel] = None,
+        max_steps: int = 75,
+        max_locations_per_rule: int = 8,
+    ) -> None:
+        self.ruleset = ruleset if ruleset is not None else default_ruleset()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.max_steps = max_steps
+        self.max_locations_per_rule = max_locations_per_rule
+
+    def optimize(self, expr: Expr) -> RewriteResult:
+        """Greedily apply the best cost-reducing rule until none improves."""
+        steps: List[RewriteStep] = []
+        initial_cost = self.cost_model.cost(expr)
+        current = expr
+        current_cost = initial_cost
+        for _ in range(self.max_steps):
+            best: Optional[Tuple[float, int, int, Expr]] = None
+            for rule_index, rule in enumerate(self.ruleset):
+                locations = rule.find(current)
+                for location_index, path in enumerate(
+                    locations[: self.max_locations_per_rule]
+                ):
+                    candidate = rule.apply_at(current, path)
+                    candidate_cost = self.cost_model.cost(candidate)
+                    if candidate_cost < current_cost - 1e-9 and (
+                        best is None or candidate_cost < best[0]
+                    ):
+                        best = (candidate_cost, rule_index, location_index, candidate)
+            if best is None:
+                break
+            candidate_cost, rule_index, location_index, candidate = best
+            steps.append(
+                RewriteStep(
+                    rule_name=self.ruleset[rule_index].name,
+                    rule_index=rule_index,
+                    location_index=location_index,
+                    cost_before=current_cost,
+                    cost_after=candidate_cost,
+                )
+            )
+            current = candidate
+            current_cost = candidate_cost
+        return RewriteResult(
+            initial=expr,
+            optimized=current,
+            steps=steps,
+            initial_cost=initial_cost,
+            final_cost=current_cost,
+        )
+
+
+class BeamSearchRewriter:
+    """Beam search over rewrite sequences (quality reference, slower)."""
+
+    def __init__(
+        self,
+        ruleset: Optional[RuleSet] = None,
+        cost_model: Optional[CostModel] = None,
+        beam_width: int = 4,
+        max_steps: int = 20,
+        max_locations_per_rule: int = 4,
+    ) -> None:
+        self.ruleset = ruleset if ruleset is not None else default_ruleset()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.beam_width = beam_width
+        self.max_steps = max_steps
+        self.max_locations_per_rule = max_locations_per_rule
+
+    def optimize(self, expr: Expr) -> RewriteResult:
+        initial_cost = self.cost_model.cost(expr)
+        beam: List[Tuple[float, Expr, List[RewriteStep]]] = [(initial_cost, expr, [])]
+        best_cost, best_expr, best_steps = initial_cost, expr, []
+        seen = {expr}
+        for _ in range(self.max_steps):
+            candidates: List[Tuple[float, Expr, List[RewriteStep]]] = []
+            for cost, current, steps in beam:
+                for rule_index, rule in enumerate(self.ruleset):
+                    locations = rule.find(current)
+                    for location_index, path in enumerate(
+                        locations[: self.max_locations_per_rule]
+                    ):
+                        candidate = rule.apply_at(current, path)
+                        if candidate in seen:
+                            continue
+                        seen.add(candidate)
+                        candidate_cost = self.cost_model.cost(candidate)
+                        step = RewriteStep(
+                            rule_name=rule.name,
+                            rule_index=rule_index,
+                            location_index=location_index,
+                            cost_before=cost,
+                            cost_after=candidate_cost,
+                        )
+                        candidates.append((candidate_cost, candidate, steps + [step]))
+            if not candidates:
+                break
+            candidates.sort(key=lambda item: item[0])
+            beam = candidates[: self.beam_width]
+            if beam[0][0] < best_cost:
+                best_cost, best_expr, best_steps = beam[0]
+        return RewriteResult(
+            initial=expr,
+            optimized=best_expr,
+            steps=best_steps,
+            initial_cost=initial_cost,
+            final_cost=best_cost,
+        )
+
+
+class RandomRewriter:
+    """Applies uniformly random applicable rules; a sanity baseline."""
+
+    def __init__(
+        self,
+        ruleset: Optional[RuleSet] = None,
+        cost_model: Optional[CostModel] = None,
+        max_steps: int = 20,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.ruleset = ruleset if ruleset is not None else default_ruleset()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.max_steps = max_steps
+        self._rng = random.Random(seed)
+
+    def optimize(self, expr: Expr) -> RewriteResult:
+        steps: List[RewriteStep] = []
+        initial_cost = self.cost_model.cost(expr)
+        current = expr
+        for _ in range(self.max_steps):
+            applicable = self.ruleset.applicable_rules(current)
+            if not applicable:
+                break
+            rule_index = self._rng.choice(applicable)
+            rule = self.ruleset[rule_index]
+            locations = rule.find(current)
+            location_index = self._rng.randrange(len(locations))
+            cost_before = self.cost_model.cost(current)
+            current = rule.apply_at(current, locations[location_index])
+            steps.append(
+                RewriteStep(
+                    rule_name=rule.name,
+                    rule_index=rule_index,
+                    location_index=location_index,
+                    cost_before=cost_before,
+                    cost_after=self.cost_model.cost(current),
+                )
+            )
+        return RewriteResult(
+            initial=expr,
+            optimized=current,
+            steps=steps,
+            initial_cost=initial_cost,
+            final_cost=self.cost_model.cost(current),
+        )

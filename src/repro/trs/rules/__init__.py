@@ -1,0 +1,13 @@
+"""Rule families of the CHEHAB term rewriting system."""
+
+from repro.trs.rules.algebraic import algebraic_rules
+from repro.trs.rules.balance import balance_rules
+from repro.trs.rules.rotation import rotation_rules
+from repro.trs.rules.vectorize import vectorization_rules
+
+__all__ = [
+    "algebraic_rules",
+    "vectorization_rules",
+    "rotation_rules",
+    "balance_rules",
+]

@@ -1,0 +1,533 @@
+"""Algebraic simplification and transformation rules.
+
+These rules reduce the number of operations and the (multiplicative) depth of
+a circuit, or transform expressions into a shape that later rules (vectorization,
+factorization) can exploit.  They follow the families described in Appendix E
+of the paper: arithmetic simplification, arithmetic transformations and
+plaintext consolidation, restricted to operations FHE supports (no
+comparisons, divisions or modulo).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.nodes import (
+    Add,
+    Const,
+    Expr,
+    Mul,
+    Neg,
+    Sub,
+    Vec,
+    VecAdd,
+    VecMul,
+    VecSub,
+)
+from repro.ir.pattern import Bindings
+from repro.trs.rule import PatternRule, Rule
+
+__all__ = ["algebraic_rules"]
+
+
+def _const(bindings: Bindings, name: str) -> int:
+    node = bindings[name]
+    assert isinstance(node, Const)
+    return node.value
+
+
+def _is_zero_vec(node: Expr) -> bool:
+    return isinstance(node, Vec) and all(
+        isinstance(e, Const) and e.value == 0 for e in node.elements
+    )
+
+
+def _is_one_vec(node: Expr) -> bool:
+    return isinstance(node, Vec) and all(
+        isinstance(e, Const) and e.value == 1 for e in node.elements
+    )
+
+
+def algebraic_rules() -> List[Rule]:
+    """The algebraic rule family (identities, folding, factorization, ...)."""
+    rules: List[Rule] = []
+
+    # -- identity elimination -------------------------------------------------
+    rules.append(
+        PatternRule(
+            "add-identity-right",
+            "(+ ?x 0)",
+            "?x",
+            category="simplify",
+            description="x + 0 => x",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "add-identity-left",
+            "(+ 0 ?x)",
+            "?x",
+            category="simplify",
+            description="0 + x => x",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "sub-identity",
+            "(- ?x 0)",
+            "?x",
+            category="simplify",
+            description="x - 0 => x",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "sub-from-zero",
+            "(- 0 ?x)",
+            builder=lambda b: Neg(b["x"]),
+            category="simplify",
+            description="0 - x => -x",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "mul-identity-right",
+            "(* ?x 1)",
+            "?x",
+            category="simplify",
+            description="x * 1 => x",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "mul-identity-left",
+            "(* 1 ?x)",
+            "?x",
+            category="simplify",
+            description="1 * x => x",
+        )
+    )
+
+    # -- absorption -----------------------------------------------------------
+    rules.append(
+        PatternRule(
+            "mul-absorb-right",
+            "(* ?x 0)",
+            builder=lambda b: Const(0),
+            category="simplify",
+            description="x * 0 => 0",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "mul-absorb-left",
+            "(* 0 ?x)",
+            builder=lambda b: Const(0),
+            category="simplify",
+            description="0 * x => 0",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "sub-self",
+            "(- ?x ?x)",
+            builder=lambda b: Const(0),
+            category="simplify",
+            description="x - x => 0",
+        )
+    )
+
+    # -- negation -------------------------------------------------------------
+    rules.append(
+        PatternRule(
+            "neg-neg",
+            lhs=_neg_neg_pattern(),
+            builder=lambda b: b["x"],
+            category="simplify",
+            description="-(-x) => x",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "add-neg-to-sub",
+            lhs=Add(_pv("x"), Neg(_pv("y"))),
+            builder=lambda b: Sub(b["x"], b["y"]),
+            category="simplify",
+            description="x + (-y) => x - y",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "sub-neg-to-add",
+            lhs=Sub(_pv("x"), Neg(_pv("y"))),
+            builder=lambda b: Add(b["x"], b["y"]),
+            category="simplify",
+            description="x - (-y) => x + y",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "neg-const",
+            lhs=Neg(_pv("c", "const")),
+            builder=lambda b: Const(-_const(b, "c")),
+            category="simplify",
+            description="-(c) => (-c) for constants",
+        )
+    )
+
+    # -- constant folding -------------------------------------------------------
+    rules.append(
+        PatternRule(
+            "const-fold-add",
+            "(+ ?a:const ?b:const)",
+            builder=lambda b: Const(_const(b, "a") + _const(b, "b")),
+            category="simplify",
+            description="fold constant addition",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "const-fold-sub",
+            "(- ?a:const ?b:const)",
+            builder=lambda b: Const(_const(b, "a") - _const(b, "b")),
+            category="simplify",
+            description="fold constant subtraction",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "const-fold-mul",
+            "(* ?a:const ?b:const)",
+            builder=lambda b: Const(_const(b, "a") * _const(b, "b")),
+            category="simplify",
+            description="fold constant multiplication",
+        )
+    )
+
+    # -- plaintext consolidation ------------------------------------------------
+    rules.append(
+        PatternRule(
+            "plain-consolidate",
+            "(* ?a:const (* ?b:const ?x))",
+            builder=lambda b: Mul(Const(_const(b, "a") * _const(b, "b")), b["x"]),
+            category="simplify",
+            description="(* a (* b x)) => (* (a*b) x) for plaintext constants",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "plain-consolidate-right",
+            "(* (* ?x ?a:const) ?b:const)",
+            builder=lambda b: Mul(b["x"], Const(_const(b, "a") * _const(b, "b"))),
+            category="simplify",
+            description="(* (* x a) b) => (* x (a*b)) for plaintext constants",
+        )
+    )
+
+    # -- strength reduction ------------------------------------------------------
+    rules.append(
+        PatternRule(
+            "mul-two-to-add",
+            "(* 2 ?x)",
+            "(+ ?x ?x)",
+            category="simplify",
+            description="2*x => x + x (addition is far cheaper than multiplication)",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "mul-two-to-add-right",
+            "(* ?x 2)",
+            "(+ ?x ?x)",
+            category="simplify",
+            description="x*2 => x + x",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "add-self-to-mul",
+            "(+ ?x ?x)",
+            "(* 2 ?x)",
+            category="transform",
+            description="x + x => 2*x (enables plaintext consolidation)",
+        )
+    )
+
+    # -- factorization ------------------------------------------------------------
+    rules.append(
+        PatternRule(
+            "comm-factor",
+            "(+ (* ?a ?b) (* ?a ?c))",
+            "(* ?a (+ ?b ?c))",
+            category="simplify",
+            description="a*b + a*c => a*(b+c)",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "comm-factor-right",
+            "(+ (* ?b ?a) (* ?c ?a))",
+            "(* (+ ?b ?c) ?a)",
+            category="simplify",
+            description="b*a + c*a => (b+c)*a",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "comm-factor-mixed",
+            "(+ (* ?a ?b) (* ?c ?a))",
+            "(* ?a (+ ?b ?c))",
+            category="simplify",
+            description="a*b + c*a => a*(b+c)",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "comm-factor-mixed-left",
+            "(+ (* ?b ?a) (* ?a ?c))",
+            "(* ?a (+ ?b ?c))",
+            category="simplify",
+            description="b*a + a*c => a*(b+c)",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "comm-factor-sub",
+            "(- (* ?a ?b) (* ?a ?c))",
+            "(* ?a (- ?b ?c))",
+            category="simplify",
+            description="a*b - a*c => a*(b-c)",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "distribute-left",
+            "(* ?a (+ ?b ?c))",
+            "(+ (* ?a ?b) (* ?a ?c))",
+            category="transform",
+            description="a*(b+c) => a*b + a*c (may enable vectorization)",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "distribute-right",
+            "(* (+ ?a ?b) ?c)",
+            "(+ (* ?a ?c) (* ?b ?c))",
+            category="transform",
+            description="(a+b)*c => a*c + b*c",
+        )
+    )
+
+    # -- commutativity / associativity ---------------------------------------------
+    rules.append(
+        PatternRule(
+            "add-commute",
+            "(+ ?a ?b)",
+            "(+ ?b ?a)",
+            guard=lambda b: b["a"] != b["b"],
+            category="transform",
+            description="a + b => b + a",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "mul-commute",
+            "(* ?a ?b)",
+            "(* ?b ?a)",
+            guard=lambda b: b["a"] != b["b"],
+            category="transform",
+            description="a * b => b * a",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "add-assoc-left",
+            "(+ ?a (+ ?b ?c))",
+            "(+ (+ ?a ?b) ?c)",
+            category="transform",
+            description="a + (b + c) => (a + b) + c",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "add-assoc-right",
+            "(+ (+ ?a ?b) ?c)",
+            "(+ ?a (+ ?b ?c))",
+            category="transform",
+            description="(a + b) + c => a + (b + c)",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "mul-assoc-left",
+            "(* ?a (* ?b ?c))",
+            "(* (* ?a ?b) ?c)",
+            category="transform",
+            description="a * (b * c) => (a * b) * c",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "mul-assoc-right",
+            "(* (* ?a ?b) ?c)",
+            "(* ?a (* ?b ?c))",
+            category="transform",
+            description="(a * b) * c => a * (b * c)",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "sub-add-regroup",
+            "(- (+ ?a ?b) ?b)",
+            "?a",
+            category="simplify",
+            description="(a + b) - b => a",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "add-sub-cancel",
+            "(+ (- ?a ?b) ?b)",
+            "?a",
+            category="simplify",
+            description="(a - b) + b => a",
+        )
+    )
+
+    # -- vector-level algebra ----------------------------------------------------------
+    rules.append(
+        PatternRule(
+            "vecadd-commute",
+            "(VecAdd ?a ?b)",
+            "(VecAdd ?b ?a)",
+            guard=lambda b: b["a"] != b["b"],
+            category="transform",
+            description="VecAdd a b => VecAdd b a",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "vecmul-commute",
+            "(VecMul ?a ?b)",
+            "(VecMul ?b ?a)",
+            guard=lambda b: b["a"] != b["b"],
+            category="transform",
+            description="VecMul a b => VecMul b a",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "vecadd-assoc-right",
+            "(VecAdd (VecAdd ?a ?b) ?c)",
+            "(VecAdd ?a (VecAdd ?b ?c))",
+            category="transform",
+            description="(VecAdd (VecAdd a b) c) => (VecAdd a (VecAdd b c))",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "vecmul-assoc-right",
+            "(VecMul (VecMul ?a ?b) ?c)",
+            "(VecMul ?a (VecMul ?b ?c))",
+            category="transform",
+            description="(VecMul (VecMul a b) c) => (VecMul a (VecMul b c))",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "vec-factor",
+            "(VecAdd (VecMul ?a ?b) (VecMul ?a ?c))",
+            "(VecMul ?a (VecAdd ?b ?c))",
+            category="simplify",
+            description="VecMul a b + VecMul a c => VecMul a (VecAdd b c)",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "vec-factor-right",
+            "(VecAdd (VecMul ?b ?a) (VecMul ?c ?a))",
+            "(VecMul (VecAdd ?b ?c) ?a)",
+            category="simplify",
+            description="VecMul b a + VecMul c a => VecMul (VecAdd b c) a",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "vec-factor-sub",
+            "(VecSub (VecMul ?a ?b) (VecMul ?a ?c))",
+            "(VecMul ?a (VecSub ?b ?c))",
+            category="simplify",
+            description="VecMul a b - VecMul a c => VecMul a (VecSub b c)",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "vecsub-self",
+            "(VecSub ?x ?x)",
+            builder=lambda b: _zero_vec_like(b["x"]),
+            guard=lambda b: _vec_arity(b["x"]) is not None,
+            category="simplify",
+            description="VecSub x x => zero vector",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "vecadd-zero",
+            lhs=VecAdd(_pv("x"), _pv("z")),
+            builder=lambda b: b["x"],
+            guard=lambda b: _is_zero_vec(b["z"]),
+            category="simplify",
+            description="VecAdd x 0-vector => x",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "vecmul-one",
+            lhs=VecMul(_pv("x"), _pv("o")),
+            builder=lambda b: b["x"],
+            guard=lambda b: _is_one_vec(b["o"]),
+            category="simplify",
+            description="VecMul x 1-vector => x",
+        )
+    )
+    rules.append(
+        PatternRule(
+            "vecneg-neg",
+            "(VecNeg (VecNeg ?x))",
+            "?x",
+            category="simplify",
+            description="VecNeg (VecNeg x) => x",
+        )
+    )
+
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Small pattern-construction helpers
+# ---------------------------------------------------------------------------
+def _pv(name: str, kind: str = "any"):
+    from repro.ir.pattern import PatternVar
+
+    return PatternVar(name, kind=kind)
+
+
+def _neg_neg_pattern() -> Expr:
+    return Neg(Neg(_pv("x")))
+
+
+def _vec_arity(node: Expr):
+    if isinstance(node, Vec):
+        return len(node.elements)
+    if isinstance(node, (VecAdd, VecSub, VecMul)):
+        left = _vec_arity(node.children[0])
+        right = _vec_arity(node.children[1])
+        if left is not None:
+            return left
+        return right
+    return None
+
+
+def _zero_vec_like(node: Expr) -> Expr:
+    arity = _vec_arity(node) or 1
+    return Vec(*[Const(0) for _ in range(arity)])

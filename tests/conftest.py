@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.fhe.params import BFVParameters
+from repro.ir.parser import parse
+from repro.trs.registry import default_ruleset
+
+
+@pytest.fixture(scope="session")
+def ruleset():
+    """The default 84-rule TRS (shared across the whole session)."""
+    return default_ruleset()
+
+
+@pytest.fixture(scope="session")
+def cost_model():
+    return CostModel()
+
+
+@pytest.fixture(scope="session")
+def small_params():
+    """Small BFV parameters (fast encryption, 1024 slots)."""
+    return BFVParameters.default(1024)
+
+
+@pytest.fixture()
+def motivating_expression():
+    """The motivating example of Sec. 2 (Eq. 1)."""
+    return parse(
+        "(* (+ (* (* v1 v2) (* v3 v4)) (* (* v3 v4) (* v5 v6))) "
+        "(* (* v7 v8) (* v9 v10)))"
+    )

@@ -1,0 +1,170 @@
+"""Tests for the data generators, the baseline compilers and the benchmark kernels."""
+
+import pytest
+
+from repro.baselines import CoyoteCompiler, CoyoteOptions, GreedyChehabCompiler, ScalarCompiler
+from repro.compiler import execute
+from repro.datagen import (
+    ExpressionDataset,
+    RandomExpressionGenerator,
+    SyntheticKernelGenerator,
+    build_dataset,
+)
+from repro.ir import canonical_form, parse
+from repro.ir.analysis import variables
+from repro.ir.evaluate import evaluate, output_arity
+from repro.kernels import benchmark_by_name, benchmark_suite, small_benchmark_suite
+from repro.kernels.trees import polynomial_tree
+
+
+class TestRandomGenerator:
+    def test_deterministic_with_seed(self):
+        first = RandomExpressionGenerator(seed=7).generate_many(5)
+        second = RandomExpressionGenerator(seed=7).generate_many(5)
+        assert [str(a) for a in first] == [str(b) for b in second]
+
+    def test_generated_expressions_are_evaluable(self):
+        generator = RandomExpressionGenerator(max_depth=4, max_vector_size=4, seed=1)
+        for expr in generator.generate_many(10):
+            env = {name: 2 for name in variables(expr)}
+            slots = evaluate(expr, env, slot_count=16)
+            assert len(slots) == 16
+
+    def test_respects_depth_and_size_arguments(self):
+        generator = RandomExpressionGenerator(seed=0)
+        expr = generator.generate(depth=1, vector_size=3)
+        assert output_arity(expr) in (1, 3)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RandomExpressionGenerator(max_depth=0)
+
+
+class TestSyntheticGenerator:
+    def test_deterministic_with_seed(self):
+        assert [str(e) for e in SyntheticKernelGenerator(seed=3).generate_many(5)] == [
+            str(e) for e in SyntheticKernelGenerator(seed=3).generate_many(5)
+        ]
+
+    def test_motifs_contain_optimizable_structure(self, ruleset):
+        generator = SyntheticKernelGenerator(seed=0, max_size=6)
+        optimizable = 0
+        for expr in generator.generate_many(20):
+            if len(ruleset.applicable_rules(expr)) > 0:
+                optimizable += 1
+        assert optimizable >= 18  # nearly every motif exposes at least one rewrite
+
+    def test_generated_expressions_are_evaluable(self):
+        generator = SyntheticKernelGenerator(seed=0)
+        for expr in generator.generate_many(10):
+            env = {name: 1 for name in variables(expr)}
+            evaluate(expr, env, slot_count=32)
+
+
+class TestDataset:
+    def test_deduplication_by_canonical_form(self):
+        dataset = ExpressionDataset()
+        assert dataset.add(parse("(+ a b)"))
+        assert not dataset.add(parse("(+ x y)"))  # alpha-equivalent duplicate
+        assert dataset.duplicates_rejected == 1
+        assert len(dataset) == 1
+
+    def test_benchmark_exclusion(self):
+        dataset = ExpressionDataset()
+        dataset.exclude([parse("(+ a b)")])
+        assert not dataset.add(parse("(+ u v)"))
+        assert dataset.exclusions_rejected == 1
+
+    def test_build_dataset_reaches_target(self):
+        generator = SyntheticKernelGenerator(seed=0)
+        dataset = build_dataset(generator, 20)
+        assert len(dataset) == 20
+        forms = {canonical_form(expr) for expr in dataset}
+        assert len(forms) == 20
+
+    def test_split_and_persistence(self, tmp_path):
+        dataset = build_dataset(SyntheticKernelGenerator(seed=1), 12)
+        train, validation = dataset.split(validation_fraction=0.25, seed=0)
+        assert len(train) + len(validation) == 12
+        path = tmp_path / "dataset.txt"
+        dataset.save(path)
+        restored = ExpressionDataset.load(path)
+        assert len(restored) == 12
+
+
+def _run_and_check(compiler, benchmark):
+    expr = benchmark.expression()
+    inputs = benchmark.sample_inputs(seed=1)
+    report = compiler.compile_expression(expr, name=benchmark.name)
+    execution = execute(report.circuit, inputs)
+    assert execution.outputs["result"] == benchmark.reference(inputs), benchmark.name
+    return report, execution
+
+
+class TestBaselines:
+    @pytest.mark.parametrize(
+        "name",
+        ["dot_product_4", "l2_distance_4", "gx_3x3", "max_3", "matrix_multiply_3x3", "tree_50_50_5"],
+    )
+    def test_coyote_produces_correct_circuits(self, name):
+        _report, _execution = _run_and_check(CoyoteCompiler(), benchmark_by_name(name))
+
+    def test_coyote_layout_signature(self):
+        # Coyote's post-packing layout resolution shows up as rotations and
+        # ciphertext-plaintext mask multiplications.
+        report, _ = _run_and_check(CoyoteCompiler(), benchmark_by_name("dot_product_8"))
+        assert report.stats.rotations > 0
+        assert report.stats.ct_pt_multiplications > 0
+
+    def test_coyote_search_effort_configurable(self):
+        fast = CoyoteCompiler(CoyoteOptions(layout_candidates=1, search_candidates=2, max_candidates=4))
+        thorough = CoyoteCompiler(CoyoteOptions(layout_candidates=8))
+        bench = benchmark_by_name("dot_product_8")
+        fast_report, _ = _run_and_check(fast, bench)
+        thorough_report, _ = _run_and_check(thorough, bench)
+        assert thorough_report.compile_time_s >= fast_report.compile_time_s
+
+    def test_greedy_chehab_beats_scalar_baseline(self):
+        bench = benchmark_by_name("dot_product_8")
+        greedy_report, greedy_exec = _run_and_check(GreedyChehabCompiler(), bench)
+        scalar_report, scalar_exec = _run_and_check(ScalarCompiler(), bench)
+        assert greedy_exec.latency_ms < scalar_exec.latency_ms
+        assert greedy_report.stats.ct_ct_multiplications < scalar_report.stats.ct_ct_multiplications
+
+
+class TestKernels:
+    def test_suite_covers_all_three_sub_suites(self):
+        suites = {benchmark.suite for benchmark in benchmark_suite()}
+        assert suites == {"porcupine", "coyote", "trees"}
+        assert len(benchmark_suite()) >= 40
+
+    def test_small_suite_is_subset(self):
+        names = {b.name for b in benchmark_suite()}
+        assert all(b.name in names for b in small_benchmark_suite())
+
+    @pytest.mark.parametrize("kernel", small_benchmark_suite(), ids=lambda b: b.name)
+    def test_small_suite_correct_under_greedy_chehab(self, kernel):
+        _run_and_check(GreedyChehabCompiler(), kernel)
+
+    @pytest.mark.parametrize("kernel", small_benchmark_suite(), ids=lambda b: b.name)
+    def test_small_suite_correct_without_optimization(self, kernel):
+        _run_and_check(ScalarCompiler(), kernel)
+
+    def test_polynomial_tree_regimes(self):
+        dense = polynomial_tree(100, 100, 4, seed=0)
+        sparse = polynomial_tree(50, 50, 4, seed=0)
+        from repro.ir.analysis import count_ops
+
+        dense_counts = count_ops(dense)
+        assert dense_counts.scalar_mul > 0 and dense_counts.scalar_add == 0
+        sparse_counts = count_ops(sparse)
+        assert sparse_counts.total <= dense_counts.total
+
+    def test_benchmark_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            benchmark_by_name("not_a_benchmark")
+
+    def test_hamming_distance_binary_inputs(self):
+        bench = benchmark_by_name("hamming_distance_4")
+        inputs = bench.sample_inputs(seed=0)
+        assert set(inputs.values()) <= {0, 1}

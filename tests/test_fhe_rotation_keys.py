@@ -1,0 +1,86 @@
+"""Unit tests for NAF decomposition and rotation-key selection (Appendix B)."""
+
+import pytest
+
+from repro.fhe.rotation_keys import naf_decomposition, select_rotation_keys
+
+
+class TestNAF:
+    @pytest.mark.parametrize(
+        "step, expected",
+        [
+            (0, []),
+            (1, [1]),
+            (2, [2]),
+            (3, [-1, 4]),
+            (4, [4]),
+            (5, [1, 4]),
+            (6, [-2, 8]),
+            (7, [-1, 8]),
+            (9, [1, 8]),
+            (10, [2, 8]),
+            (12, [-4, 16]),
+            (15, [-1, 16]),
+        ],
+    )
+    def test_paper_examples(self, step, expected):
+        assert naf_decomposition(step) == expected
+
+    @pytest.mark.parametrize("step", list(range(-20, 21)))
+    def test_decomposition_sums_to_step(self, step):
+        assert sum(naf_decomposition(step)) == step
+
+    def test_no_adjacent_nonzero_digits(self):
+        for step in range(1, 200):
+            magnitudes = sorted(abs(c) for c in naf_decomposition(step))
+            for first, second in zip(magnitudes, magnitudes[1:]):
+                assert second // first >= 4 or second != first * 2
+
+    def test_negative_steps(self):
+        assert naf_decomposition(-3) == [1, -4]
+
+
+class TestSelection:
+    def test_appendix_example_fits_budget(self):
+        steps = [1, 2, 3, 4, 5, 6, 7, 9, 10, 12, 11, 13, 15]
+        plan = select_rotation_keys(steps, slot_count=16, beta=9)
+        assert plan.key_count <= 9
+        # Every original step must be realisable from generated keys.
+        for step in steps:
+            realization = plan.realization(step)
+            assert sum(realization) == step
+            assert all(part in plan.generated_steps for part in realization)
+
+    def test_fewer_keys_than_naive(self):
+        steps = [1, 2, 3, 4, 5, 6, 7, 9, 10, 12, 11, 13, 15]
+        plan = select_rotation_keys(steps, slot_count=16, beta=9)
+        assert plan.key_count < len(steps)
+
+    def test_power_of_two_steps_stay_direct(self):
+        plan = select_rotation_keys([1, 2, 4, 8], slot_count=64)
+        assert set(plan.direct) == {1, 2, 4, 8}
+        assert plan.rotation_count(4) == 1
+
+    def test_default_budget_is_two_log_n(self):
+        plan = select_rotation_keys(range(1, 30), slot_count=1024)
+        assert plan.key_count <= 2 * 10
+
+    def test_zero_step_realization(self):
+        plan = select_rotation_keys([3], slot_count=16)
+        assert plan.realization(0) == ()
+
+    def test_unknown_step_raises(self):
+        plan = select_rotation_keys([3], slot_count=16)
+        with pytest.raises(KeyError):
+            plan.realization(9)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            select_rotation_keys([1, 2], slot_count=16, beta=0)
+
+    def test_decomposed_steps_cost_multiple_rotations(self):
+        plan = select_rotation_keys([1, 2, 3, 5, 7, 9, 11, 13, 15], slot_count=16, beta=5)
+        decomposed = [step for step in (3, 5, 7, 9, 11, 13, 15) if step in plan.decomposed]
+        assert decomposed, "expected at least one step to be decomposed under a tight budget"
+        for step in decomposed:
+            assert plan.rotation_count(step) >= 2

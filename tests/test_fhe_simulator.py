@@ -1,0 +1,197 @@
+"""Unit tests for the BFV simulator: parameters, encoder, evaluator, noise, keys."""
+
+import pytest
+
+from repro.core.exceptions import InvalidParameters, NoiseBudgetExhausted, RotationKeyMissing
+from repro.fhe import (
+    BFVParameters,
+    BatchEncoder,
+    FHEContext,
+    KeyGenerator,
+    LatencyModel,
+    NoiseModel,
+)
+
+
+class TestParameters:
+    def test_paper_defaults(self):
+        params = BFVParameters.default()
+        assert params.poly_modulus_degree == 16384
+        assert params.coeff_modulus_bits == 389
+        assert params.plain_modulus_bits == 20
+        assert params.initial_noise_budget == 369.0
+
+    def test_slot_count_equals_degree(self):
+        assert BFVParameters.default(4096).slot_count == 4096
+
+    def test_batching_supported(self):
+        for degree in (1024, 2048, 4096, 8192, 16384):
+            assert BFVParameters.default(degree).supports_batching()
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(InvalidParameters):
+            BFVParameters(poly_modulus_degree=1000)
+
+    def test_coeff_modulus_must_exceed_plain(self):
+        with pytest.raises(InvalidParameters):
+            BFVParameters(poly_modulus_degree=1024, plain_modulus=2**30, coeff_modulus_bits=20)
+
+    def test_unknown_degree_default_rejected(self):
+        with pytest.raises(InvalidParameters):
+            BFVParameters.default(512)
+
+
+class TestEncoder:
+    def test_encode_decode_round_trip(self, small_params):
+        encoder = BatchEncoder(small_params)
+        values = [1, -2, 3, 0, 7]
+        decoded = encoder.decode(encoder.encode(values), len(values))
+        assert decoded == values
+
+    def test_encode_pads_with_zeros(self, small_params):
+        encoder = BatchEncoder(small_params)
+        plaintext = encoder.encode([5])
+        assert plaintext.slots[1] == 0
+
+    def test_encode_scalar_broadcasts(self, small_params):
+        encoder = BatchEncoder(small_params)
+        plaintext = encoder.encode_scalar(3)
+        assert all(int(v) == 3 for v in plaintext.slots[:10])
+
+    def test_too_many_values_rejected(self, small_params):
+        encoder = BatchEncoder(small_params)
+        with pytest.raises(ValueError):
+            encoder.encode([0] * (small_params.slot_count + 1))
+
+
+class TestEvaluator:
+    @pytest.fixture()
+    def context(self):
+        # n = 4096 gives a ~93-bit budget: enough for a few multiplications,
+        # small enough that a chain of them visibly exhausts it.
+        return FHEContext(BFVParameters.default(4096), galois_steps=[1, 2, -1, 4])
+
+    def _encrypt(self, context, values):
+        return context.encryptor.encrypt(context.encoder.encode(values))
+
+    def _decrypt(self, context, ciphertext, count):
+        return context.encoder.decode(context.decryptor.decrypt(ciphertext), count)
+
+    def test_addition(self, context):
+        result = context.evaluator.add(self._encrypt(context, [1, 2]), self._encrypt(context, [10, 20]))
+        assert self._decrypt(context, result, 2) == [11, 22]
+
+    def test_subtraction(self, context):
+        result = context.evaluator.sub(self._encrypt(context, [5, 5]), self._encrypt(context, [2, 7]))
+        assert self._decrypt(context, result, 2) == [3, -2]
+
+    def test_multiplication(self, context):
+        result = context.evaluator.multiply(self._encrypt(context, [3, 4]), self._encrypt(context, [5, 6]))
+        assert self._decrypt(context, result, 2) == [15, 24]
+
+    def test_multiply_plain(self, context):
+        plain = context.encoder.encode([2, 3])
+        result = context.evaluator.multiply_plain(self._encrypt(context, [7, 7]), plain)
+        assert self._decrypt(context, result, 2) == [14, 21]
+
+    def test_square(self, context):
+        result = context.evaluator.square(self._encrypt(context, [4]))
+        assert self._decrypt(context, result, 1) == [16]
+
+    def test_negation(self, context):
+        result = context.evaluator.negate(self._encrypt(context, [9]))
+        assert self._decrypt(context, result, 1) == [-9]
+
+    def test_rotation_left(self, context):
+        result = context.evaluator.rotate(self._encrypt(context, [1, 2, 3]), 1)
+        assert self._decrypt(context, result, 2) == [2, 3]
+
+    def test_rotation_right(self, context):
+        result = context.evaluator.rotate(self._encrypt(context, [1, 2, 3]), -1)
+        assert self._decrypt(context, result, 3)[1:] == [1, 2]
+
+    def test_rotation_requires_key(self, context):
+        with pytest.raises(RotationKeyMissing):
+            context.evaluator.rotate(self._encrypt(context, [1, 2, 3]), 7)
+
+    def test_rotation_by_zero_is_identity(self, context):
+        ct = self._encrypt(context, [1, 2, 3])
+        result = context.evaluator.rotate(ct, 0)
+        assert self._decrypt(context, result, 3) == [1, 2, 3]
+
+    def test_noise_budget_decreases(self, context):
+        a = self._encrypt(context, [2])
+        b = self._encrypt(context, [3])
+        product = context.evaluator.multiply(a, b)
+        assert product.noise_budget < a.noise_budget
+        total = context.evaluator.add(a, b)
+        assert total.noise_budget > product.noise_budget
+
+    def test_multiplication_grows_size_and_relinearize_restores(self, context):
+        product = context.evaluator.multiply(self._encrypt(context, [2]), self._encrypt(context, [3]))
+        assert product.size == 3
+        assert context.evaluator.relinearize(product).size == 2
+
+    def test_decrypt_fails_when_budget_exhausted(self, context):
+        ct = self._encrypt(context, [2])
+        for _ in range(30):
+            ct = context.evaluator.multiply(ct, self._encrypt(context, [1]))
+        assert context.decryptor.invariant_noise_budget(ct) == 0.0
+        with pytest.raises(NoiseBudgetExhausted):
+            context.decryptor.decrypt(ct)
+
+    def test_operation_log_accumulates(self, context):
+        context.evaluator.reset_log()
+        a = self._encrypt(context, [1])
+        context.evaluator.add(a, a)
+        context.evaluator.multiply(a, a)
+        log = context.evaluator.log
+        assert log.counts["add"] == 1
+        assert log.counts["multiply"] == 1
+        assert log.total_latency_ms > 0
+
+    def test_consumed_noise_budget(self, context):
+        a = self._encrypt(context, [1])
+        product = context.evaluator.multiply(a, a)
+        consumed = context.decryptor.consumed_noise_budget(product)
+        assert consumed == pytest.approx(context.noise_model.multiply_cost())
+
+
+class TestNoiseAndLatencyModels:
+    def test_multiplication_dominates(self):
+        params = BFVParameters.default(16384)
+        noise = NoiseModel(params)
+        assert noise.multiply_cost() > noise.rotate_cost(1) > noise.add_cost()
+        assert noise.multiply_cost() > noise.multiply_plain_cost()
+
+    def test_latency_ordering_matches_cost_model(self):
+        latency = LatencyModel(BFVParameters.default(16384))
+        assert latency.cost_ms("multiply") > latency.cost_ms("rotate") > latency.cost_ms("add")
+        assert latency.cost_ms("multiply_plain") < latency.cost_ms("multiply")
+
+    def test_latency_scales_with_degree(self):
+        small = LatencyModel(BFVParameters.default(4096))
+        large = LatencyModel(BFVParameters.default(16384))
+        assert large.cost_ms("multiply") > small.cost_ms("multiply")
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(BFVParameters.default(1024)).cost_ms("bootstrap")
+
+
+class TestKeys:
+    def test_default_galois_steps(self, small_params):
+        keygen = KeyGenerator(small_params)
+        keys = keygen.create_galois_keys()
+        assert keys.key_count == 2 * 10  # 2 * log2(1024)
+        assert keys.supports(1) and keys.supports(-512)
+        assert not keys.supports(3)
+
+    def test_explicit_steps(self, small_params):
+        keys = KeyGenerator(small_params).create_galois_keys([3, -5])
+        assert keys.supports(3) and keys.supports(-5) and keys.supports(0)
+        assert not keys.supports(5)
+
+    def test_key_sizes_reported(self, small_params):
+        keys = KeyGenerator(small_params).create_galois_keys([1, 2, 3])
+        assert keys.total_bytes == 3 * keys.bytes_per_key

@@ -1,0 +1,126 @@
+"""Unit tests for depth, multiplicative depth, operation counts and the DAG."""
+
+import pytest
+
+from repro.ir import circuit_depth, count_ops, expression_size, multiplicative_depth, parse, variables
+from repro.ir.analysis import constants, dag_size, rotation_steps, unique_subexpressions
+from repro.ir.dag import build_dag
+
+
+class TestDepths:
+    @pytest.mark.parametrize(
+        "text, depth, mult_depth",
+        [
+            ("x", 0, 0),
+            ("(+ a b)", 1, 0),
+            ("(* a b)", 1, 1),
+            ("(* (* a b) c)", 2, 2),
+            ("(+ (* a b) (* c d))", 2, 1),
+            ("(* (+ a b) (+ c d))", 2, 1),
+            ("(* (* (* a b) c) d)", 3, 3),
+            ("(Vec (+ a b) (* c d))", 1, 1),
+            ("(VecAdd (Vec a b) (Vec c d))", 1, 0),
+            ("(VecMul (VecMul (Vec a b) (Vec c d)) (Vec e f))", 2, 2),
+            ("(<< (VecAdd (Vec a b) (Vec c d)) 1)", 2, 0),
+        ],
+    )
+    def test_depths(self, text, depth, mult_depth):
+        expr = parse(text)
+        assert circuit_depth(expr) == depth
+        assert multiplicative_depth(expr) == mult_depth
+
+    def test_motivating_example_depths(self, motivating_expression):
+        assert circuit_depth(motivating_expression) == 4
+        assert multiplicative_depth(motivating_expression) == 3
+
+    def test_depth_uses_dag_sharing(self):
+        # (* t t) where t = (* a b): the shared sub-term is one DAG node.
+        expr = parse("(* (* a b) (* a b))")
+        assert multiplicative_depth(expr) == 2
+        assert dag_size(expr) < expression_size(expr)
+
+
+class TestCounts:
+    def test_scalar_counts(self):
+        counts = count_ops(parse("(+ (* a b) (- c d))"))
+        assert counts.scalar_add == 1
+        assert counts.scalar_mul == 1
+        assert counts.scalar_sub == 1
+        assert counts.scalar_ops == 3
+
+    def test_vector_counts(self):
+        counts = count_ops(parse("(VecAdd (VecMul (Vec a b) (Vec c d)) (<< (Vec e f) 1))"))
+        assert counts.vec_add == 1
+        assert counts.vec_mul == 1
+        assert counts.rotations == 1
+        assert counts.vec_constructors == 3
+
+    def test_counts_are_dag_based(self):
+        # The shared (* a b) sub-expression is counted once.
+        counts = count_ops(parse("(+ (* a b) (* a b))"))
+        assert counts.scalar_mul == 1
+        assert counts.scalar_add == 1
+
+    def test_total(self):
+        counts = count_ops(parse("(+ (* a b) c)"))
+        assert counts.total == 2
+        assert counts.multiplications == 1
+
+    def test_as_dict_keys(self):
+        data = count_ops(parse("(+ a b)")).as_dict()
+        assert data["scalar_add"] == 1
+        assert set(data) == {
+            "scalar_add",
+            "scalar_sub",
+            "scalar_mul",
+            "scalar_neg",
+            "vec_add",
+            "vec_sub",
+            "vec_mul",
+            "vec_neg",
+            "rotations",
+            "vec_constructors",
+        }
+
+
+class TestStructure:
+    def test_variables_in_order(self):
+        assert variables(parse("(+ (* b a) (* a c))")) == ["b", "a", "c"]
+
+    def test_constants(self):
+        assert constants(parse("(+ (* 2 a) (* 3 a))")) == [2, 3]
+
+    def test_rotation_steps(self):
+        assert rotation_steps(parse("(VecAdd (<< x 4) (<< (<< x 4) 2))")) == [2, 4]
+
+    def test_expression_vs_dag_size(self):
+        expr = parse("(+ (* a b) (* a b))")
+        assert expression_size(expr) == 7
+        assert dag_size(expr) == 4
+
+    def test_unique_subexpressions(self):
+        expr = parse("(+ (* a b) (* a b))")
+        nodes = unique_subexpressions(expr)
+        assert len(nodes) == 4
+
+
+class TestDag:
+    def test_dag_output_and_depths(self):
+        expr = parse("(* (+ a b) (+ a b))")
+        dag = build_dag(expr)
+        assert dag.depth == 2
+        assert dag.mult_depth == 1
+        assert len(dag) == 4  # a, b, (+ a b), (* .. ..)
+
+    def test_dag_use_counts(self):
+        expr = parse("(* (+ a b) (+ a b))")
+        dag = build_dag(expr)
+        shared = dag.node_for(parse("(+ a b)"))
+        assert shared.use_count == 2
+
+    def test_dag_topological_order(self):
+        expr = parse("(+ (* a b) c)")
+        dag = build_dag(expr)
+        for node in dag.nodes:
+            for operand in node.operands:
+                assert operand < node.node_id

@@ -1,0 +1,161 @@
+"""Unit tests for the IR node classes."""
+
+import pytest
+
+from repro.ir import (
+    Add,
+    Const,
+    Mul,
+    Neg,
+    Rotate,
+    Sub,
+    Var,
+    Vec,
+    VecAdd,
+    VecMul,
+    VecNeg,
+    VecSub,
+)
+from repro.ir.nodes import is_scalar_op, is_vector_op, produces_vector
+
+
+class TestLeaves:
+    def test_var_stores_name(self):
+        assert Var("x").name == "x"
+
+    def test_var_requires_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_const_stores_value(self):
+        assert Const(7).value == 7
+
+    def test_const_coerces_to_int(self):
+        assert Const(3.0).value == 3
+
+    def test_leaves_have_no_children(self):
+        assert Var("x").is_leaf()
+        assert Const(1).is_leaf()
+        assert Var("x").arity == 0
+
+
+class TestStructuralEquality:
+    def test_equal_vars(self):
+        assert Var("a") == Var("a")
+
+    def test_different_vars(self):
+        assert Var("a") != Var("b")
+
+    def test_var_not_equal_const(self):
+        assert Var("a") != Const(1)
+
+    def test_nested_equality(self):
+        left = Add(Mul(Var("a"), Var("b")), Const(1))
+        right = Add(Mul(Var("a"), Var("b")), Const(1))
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_operator_type_matters(self):
+        assert Add(Var("a"), Var("b")) != Sub(Var("a"), Var("b"))
+
+    def test_rotation_step_matters(self):
+        assert Rotate(Var("x"), 1) != Rotate(Var("x"), 2)
+
+    def test_usable_as_dict_key(self):
+        table = {Add(Var("a"), Var("b")): "sum"}
+        assert table[Add(Var("a"), Var("b"))] == "sum"
+
+
+class TestImmutability:
+    def test_cannot_set_attribute(self):
+        node = Add(Var("a"), Var("b"))
+        with pytest.raises(AttributeError):
+            node.children = ()
+
+    def test_with_children_rebuilds(self):
+        node = Add(Var("a"), Var("b"))
+        rebuilt = node.with_children([Var("x"), Var("y")])
+        assert isinstance(rebuilt, Add)
+        assert rebuilt.lhs == Var("x")
+        assert node.lhs == Var("a")
+
+    def test_with_children_arity_check(self):
+        with pytest.raises(ValueError):
+            Add(Var("a"), Var("b")).with_children([Var("x")])
+
+    def test_leaf_with_children_rejects_children(self):
+        with pytest.raises(ValueError):
+            Var("x").with_children([Var("y")])
+
+    def test_rotate_with_children_preserves_step(self):
+        node = Rotate(Var("x"), 3)
+        rebuilt = node.with_children([Var("y")])
+        assert rebuilt.step == 3
+        assert rebuilt.operand == Var("y")
+
+
+class TestVec:
+    def test_vec_elements(self):
+        vec = Vec(Var("a"), Var("b"), Var("c"))
+        assert len(vec.elements) == 3
+
+    def test_vec_from_list(self):
+        vec = Vec([Var("a"), Var("b")])
+        assert vec.elements == (Var("a"), Var("b"))
+
+    def test_empty_vec_rejected(self):
+        with pytest.raises(ValueError):
+            Vec()
+
+    def test_vec_rejects_non_expr(self):
+        with pytest.raises(TypeError):
+            Vec(Var("a"), 3)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "node, scalar",
+        [
+            (Add(Var("a"), Var("b")), True),
+            (Mul(Var("a"), Var("b")), True),
+            (Neg(Var("a")), True),
+            (VecAdd(Var("a"), Var("b")), False),
+            (Vec(Var("a")), False),
+        ],
+    )
+    def test_is_scalar_op(self, node, scalar):
+        assert is_scalar_op(node) is scalar
+
+    @pytest.mark.parametrize(
+        "node, vector",
+        [
+            (VecMul(Var("a"), Var("b")), True),
+            (VecSub(Var("a"), Var("b")), True),
+            (VecNeg(Var("a")), True),
+            (Rotate(Var("a"), 1), True),
+            (Sub(Var("a"), Var("b")), False),
+        ],
+    )
+    def test_is_vector_op(self, node, vector):
+        assert is_vector_op(node) is vector
+
+    def test_produces_vector(self):
+        assert produces_vector(Vec(Var("a")))
+        assert produces_vector(VecAdd(Vec(Var("a")), Vec(Var("b"))))
+        assert not produces_vector(Add(Var("a"), Var("b")))
+        assert produces_vector(Var("v"), vector_vars=frozenset({"v"}))
+
+
+class TestWalk:
+    def test_walk_preorder(self):
+        expr = Add(Mul(Var("a"), Var("b")), Var("c"))
+        ops = [node.op for node in expr.walk()]
+        assert ops == ["+", "*", "var", "var", "var"]
+
+    def test_binary_accessors(self):
+        node = Sub(Var("a"), Var("b"))
+        assert node.lhs == Var("a")
+        assert node.rhs == Var("b")
+
+    def test_unary_accessor(self):
+        assert Neg(Var("a")).operand == Var("a")

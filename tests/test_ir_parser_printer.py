@@ -1,0 +1,112 @@
+"""Unit tests for the s-expression parser and printer."""
+
+import pytest
+
+from repro.ir import ParseError, parse, to_sexpr
+from repro.ir.nodes import Add, Const, Mul, Neg, Rotate, Sub, Var, Vec, VecAdd, VecMul
+from repro.ir.parser import parse_many
+from repro.ir.printer import pretty
+
+
+class TestParsing:
+    def test_parse_variable(self):
+        assert parse("x") == Var("x")
+
+    def test_parse_constant(self):
+        assert parse("42") == Const(42)
+
+    def test_parse_negative_constant(self):
+        assert parse("-3") == Const(-3)
+
+    def test_parse_addition(self):
+        assert parse("(+ a b)") == Add(Var("a"), Var("b"))
+
+    def test_parse_nary_addition_folds_left(self):
+        assert parse("(+ a b c)") == Add(Add(Var("a"), Var("b")), Var("c"))
+
+    def test_parse_subtraction(self):
+        assert parse("(- a b)") == Sub(Var("a"), Var("b"))
+
+    def test_parse_unary_negation(self):
+        assert parse("(- a)") == Neg(Var("a"))
+
+    def test_parse_multiplication(self):
+        assert parse("(* a b)") == Mul(Var("a"), Var("b"))
+
+    def test_parse_rotation(self):
+        assert parse("(<< x 2)") == Rotate(Var("x"), 2)
+
+    def test_parse_right_rotation_normalised(self):
+        assert parse("(>> x 2)") == Rotate(Var("x"), -2)
+
+    def test_parse_vec(self):
+        assert parse("(Vec a b 1)") == Vec(Var("a"), Var("b"), Const(1))
+
+    def test_parse_vector_ops(self):
+        assert parse("(VecAdd (Vec a) (Vec b))") == VecAdd(Vec(Var("a")), Vec(Var("b")))
+        assert parse("(VecMul x y)") == VecMul(Var("x"), Var("y"))
+
+    def test_parse_nested(self):
+        expr = parse("(Vec (+ (* a b) (* c d)) (+ e f))")
+        assert isinstance(expr, Vec)
+        assert expr.elements[0] == Add(Mul(Var("a"), Var("b")), Mul(Var("c"), Var("d")))
+
+    def test_parse_many(self):
+        exprs = parse_many("(+ a b) (* c d)")
+        assert len(exprs) == 2
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "(",
+            ")",
+            "(+ a",
+            "(+ a b) extra)",
+            "(?? a b)",
+            "(<< x y)",
+            "(Vec)",
+            "(VecNeg a b)",
+            "(- a b c)",
+        ],
+    )
+    def test_invalid_inputs_raise(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x",
+            "5",
+            "(+ a b)",
+            "(- a b)",
+            "(- a)",
+            "(* a b)",
+            "(<< x 3)",
+            "(Vec a b c)",
+            "(VecAdd (Vec a c) (Vec b d))",
+            "(VecMul (Vec a c) (Vec b d))",
+            "(VecNeg (Vec a b))",
+            "(VecSub (Vec a c) (Vec b d))",
+            "(* (+ a 1) (- b 0))",
+            "(Vec (+ (* a b) (* c d)) (+ (* e f) (* g h)))",
+        ],
+    )
+    def test_round_trip(self, text):
+        expr = parse(text)
+        assert parse(to_sexpr(expr)) == expr
+
+    def test_printed_form_matches_input(self):
+        text = "(VecAdd (Vec a c) (Vec b d))"
+        assert to_sexpr(parse(text)) == text
+
+    def test_pretty_contains_all_leaves(self):
+        expr = parse("(+ (* a b) c)")
+        rendered = pretty(expr)
+        for leaf in ("a", "b", "c"):
+            assert leaf in rendered

@@ -1,0 +1,112 @@
+"""Unit tests for pattern matching, substitution and path addressing."""
+
+import pytest
+
+from repro.ir import PatternVar, find_matches, get_at, match, parse, replace_at, substitute
+from repro.ir.nodes import Add, Const, Mul, Var
+from repro.trs.rule import pattern
+
+
+class TestMatch:
+    def test_pattern_var_matches_anything(self):
+        bindings = match(PatternVar("x"), parse("(+ a b)"))
+        assert bindings == {"x": parse("(+ a b)")}
+
+    def test_structured_match(self):
+        bindings = match(pattern("(+ ?a ?b)"), parse("(+ x (* y z))"))
+        assert bindings["a"] == Var("x")
+        assert bindings["b"] == parse("(* y z)")
+
+    def test_non_linear_match_success(self):
+        bindings = match(pattern("(+ (* ?a ?b) (* ?a ?c))"), parse("(+ (* x y) (* x z))"))
+        assert bindings["a"] == Var("x")
+
+    def test_non_linear_match_failure(self):
+        assert match(pattern("(+ (* ?a ?b) (* ?a ?c))"), parse("(+ (* x y) (* w z))")) is None
+
+    def test_constant_in_pattern(self):
+        assert match(pattern("(* ?x 1)"), parse("(* q 1)")) == {"x": Var("q")}
+        assert match(pattern("(* ?x 1)"), parse("(* q 2)")) is None
+
+    def test_kind_restriction_const(self):
+        assert match(pattern("(+ ?a:const ?b:const)"), parse("(+ 1 2)")) is not None
+        assert match(pattern("(+ ?a:const ?b:const)"), parse("(+ x 2)")) is None
+
+    def test_kind_restriction_var(self):
+        restricted = PatternVar("v", kind="var")
+        assert match(restricted, Var("x")) is not None
+        assert match(restricted, Const(1)) is None
+
+    def test_kind_restriction_leaf(self):
+        restricted = PatternVar("l", kind="leaf")
+        assert match(restricted, Const(1)) is not None
+        assert match(restricted, parse("(+ a b)")) is None
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            PatternVar("x", kind="weird")
+
+    def test_operator_mismatch(self):
+        assert match(pattern("(+ ?a ?b)"), parse("(* a b)")) is None
+
+
+class TestSubstitute:
+    def test_substitute_simple(self):
+        bindings = match(pattern("(+ (* ?a ?b) (* ?a ?c))"), parse("(+ (* x y) (* x z))"))
+        result = substitute(pattern("(* ?a (+ ?b ?c))"), bindings)
+        assert result == parse("(* x (+ y z))")
+
+    def test_substitute_missing_binding_raises(self):
+        with pytest.raises(KeyError):
+            substitute(pattern("(+ ?a ?missing)"), {"a": Var("x")})
+
+    def test_substitute_without_pattern_vars_is_identity(self):
+        template = parse("(+ a 1)")
+        assert substitute(template, {}) is template
+
+
+class TestLocations:
+    def test_find_matches_preorder(self):
+        expr = parse("(+ (* a b) (* c d))")
+        matches = find_matches(pattern("(* ?x ?y)"), expr)
+        assert [m.path for m in matches] == [(0,), (1,)]
+
+    def test_find_matches_limit(self):
+        expr = parse("(+ (* a b) (* c d))")
+        assert len(find_matches(pattern("(* ?x ?y)"), expr, limit=1)) == 1
+
+    def test_find_matches_includes_root(self):
+        expr = parse("(* (* a b) c)")
+        matches = find_matches(pattern("(* ?x ?y)"), expr)
+        assert matches[0].path == ()
+
+    def test_get_at(self):
+        expr = parse("(+ (* a b) (* c d))")
+        assert get_at(expr, (1, 0)) == Var("c")
+        assert get_at(expr, ()) == expr
+
+    def test_replace_at(self):
+        expr = parse("(+ (* a b) c)")
+        replaced = replace_at(expr, (0,), Var("t"))
+        assert replaced == parse("(+ t c)")
+
+    def test_replace_at_root(self):
+        expr = parse("(+ a b)")
+        assert replace_at(expr, (), Var("z")) == Var("z")
+
+    def test_replace_preserves_siblings(self):
+        expr = parse("(Vec (+ a b) (+ c d) (+ e f))")
+        replaced = replace_at(expr, (1,), Var("t"))
+        assert replaced == parse("(Vec (+ a b) t (+ e f))")
+
+
+class TestPatternParsing:
+    def test_pattern_helper_builds_pattern_vars(self):
+        p = pattern("(+ ?a ?b)")
+        assert isinstance(p, Add)
+        assert isinstance(p.lhs, PatternVar)
+
+    def test_pattern_helper_constants_stay_literal(self):
+        p = pattern("(* ?x 0)")
+        assert isinstance(p, Mul)
+        assert p.rhs == Const(0)

@@ -1,0 +1,174 @@
+"""Unit tests for ICI tokenization, the vocabulary, BPE and the evaluator."""
+
+import pytest
+
+from repro.ir import ICITokenizer, Vocabulary, canonical_form, parse
+from repro.ir.bpe import BPETokenizer
+from repro.ir.evaluate import EvaluationError, evaluate, output_arity
+from repro.ir.tokenize import ici_tokens
+
+
+class TestICITokens:
+    def test_variables_renamed_in_order(self):
+        assert ici_tokens(parse("(+ b a)")) == ["(", "+", "v0", "v1", ")"]
+
+    def test_repeated_variable_same_token(self):
+        tokens = ici_tokens(parse("(+ x x)"))
+        assert tokens == ["(", "+", "v0", "v0", ")"]
+
+    def test_alpha_renaming_invariance(self):
+        assert canonical_form(parse("(+ a (+ b c))")) == canonical_form(parse("(+ x (+ y z))"))
+
+    def test_zero_and_one_stay_literal(self):
+        assert ici_tokens(parse("(* x 1)")) == ["(", "*", "v0", "1", ")"]
+        assert ici_tokens(parse("(+ x 0)")) == ["(", "+", "v0", "0", ")"]
+
+    def test_other_constants_abstracted(self):
+        tokens = ici_tokens(parse("(+ (* 7 x) (* 7 y))"))
+        assert tokens.count("c0") == 2
+        assert "7" not in tokens
+
+    def test_constant_invariance(self):
+        assert canonical_form(parse("(* 5 x)")) == canonical_form(parse("(* 9 y)"))
+
+    def test_distinct_constants_distinct_tokens(self):
+        tokens = ici_tokens(parse("(+ (* 5 x) (* 9 x))"))
+        assert "c0" in tokens and "c1" in tokens
+
+    def test_different_structure_not_collapsed(self):
+        assert canonical_form(parse("(+ a b)")) != canonical_form(parse("(* a b)"))
+
+    def test_rotation_step_abstracted(self):
+        tokens = ici_tokens(parse("(<< x 4)"))
+        assert "c0" in tokens and "4" not in tokens
+
+    def test_negation_token(self):
+        assert ici_tokens(parse("(- x)")) == ["(", "-", "v0", ")"]
+
+
+class TestVocabulary:
+    def test_special_ids_distinct(self):
+        vocab = Vocabulary()
+        assert len({vocab.pad_id, vocab.cls_id, vocab.unk_id}) == 3
+
+    def test_round_trip(self):
+        vocab = Vocabulary()
+        tokens = ["(", "+", "v0", "v1", ")"]
+        assert vocab.decode(vocab.encode(tokens)) == tokens
+
+    def test_unknown_token_maps_to_unk(self):
+        vocab = Vocabulary(max_variables=2)
+        assert vocab.token_id("v99") == vocab.unk_id
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary(max_variables=0)
+
+
+class TestICITokenizer:
+    def test_encode_fixed_length(self):
+        tokenizer = ICITokenizer(max_length=32)
+        ids = tokenizer.encode(parse("(+ a b)"))
+        assert len(ids) == 32
+        assert ids[0] == tokenizer.vocabulary.cls_id
+
+    def test_attention_mask(self):
+        tokenizer = ICITokenizer(max_length=16)
+        ids = tokenizer.encode(parse("(+ a b)"))
+        mask = tokenizer.attention_mask(ids)
+        assert mask[0] == 1
+        assert mask[-1] == 0
+        assert sum(mask) == 1 + 5
+
+    def test_truncation(self):
+        tokenizer = ICITokenizer(max_length=4)
+        ids = tokenizer.encode(parse("(+ (+ a b) (+ c d))"))
+        assert len(ids) == 4
+
+    def test_max_length_validation(self):
+        with pytest.raises(ValueError):
+            ICITokenizer(max_length=1)
+
+
+class TestBPE:
+    def _corpus(self):
+        return [parse(t) for t in ("(+ a b)", "(+ a c)", "(* a b)", "(+ (* a b) c)", "(* a (+ b c))")]
+
+    def test_requires_training(self):
+        with pytest.raises(RuntimeError):
+            BPETokenizer().tokenize(parse("(+ a b)"))
+
+    def test_training_learns_merges(self):
+        tokenizer = BPETokenizer(vocab_size=64)
+        tokenizer.train(self._corpus())
+        assert len(tokenizer.merges) > 0
+        assert len(tokenizer) > 3
+
+    def test_encode_fixed_length(self):
+        tokenizer = BPETokenizer(vocab_size=64, max_length=24)
+        tokenizer.train(self._corpus())
+        ids = tokenizer.encode(parse("(+ a b)"))
+        assert len(ids) == 24
+        assert ids[0] == tokenizer.cls_id
+
+    def test_bpe_sequences_longer_than_ici(self):
+        tokenizer = BPETokenizer(vocab_size=64)
+        tokenizer.train(self._corpus())
+        expr = parse("(+ (* alpha beta) gamma)")
+        assert len(tokenizer.tokenize(expr)) >= len(ici_tokens(expr))
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            BPETokenizer().train([])
+
+
+class TestEvaluate:
+    def test_scalar_arithmetic(self):
+        assert evaluate(parse("(+ (* a b) c)"), {"a": 2, "b": 3, "c": 4})[0] == 10
+
+    def test_subtraction_and_negation(self):
+        assert evaluate(parse("(- a b)"), {"a": 2, "b": 5})[0] == -3
+        assert evaluate(parse("(- a)"), {"a": 2})[0] == -2
+
+    def test_constant_broadcast(self):
+        slots = evaluate(parse("7"), {}, slot_count=4)
+        assert slots == [7, 7, 7, 7]
+
+    def test_vec_places_elements(self):
+        slots = evaluate(parse("(Vec a b 1)"), {"a": 3, "b": 4}, slot_count=5)
+        assert slots[:3] == [3, 4, 1]
+
+    def test_vector_ops_elementwise(self):
+        slots = evaluate(
+            parse("(VecMul (Vec a c) (Vec b d))"),
+            {"a": 2, "b": 3, "c": 4, "d": 5},
+            slot_count=4,
+        )
+        assert slots[:2] == [6, 20]
+
+    def test_rotation_moves_slots(self):
+        slots = evaluate(parse("(<< (Vec a b c) 1)"), {"a": 1, "b": 2, "c": 3}, slot_count=8)
+        assert slots[0] == 2 and slots[1] == 3
+
+    def test_vector_variable_binding(self):
+        slots = evaluate(parse("(VecAdd v w)"), {"v": [1, 2, 3], "w": [10, 20, 30]}, slot_count=4)
+        assert slots[:3] == [11, 22, 33]
+
+    def test_modular_evaluation(self):
+        assert evaluate(parse("(* a a)"), {"a": 10}, modulus=7)[0] == 100 % 7
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(parse("(+ a b)"), {"a": 1})
+
+    @pytest.mark.parametrize(
+        "text, arity",
+        [
+            ("(+ a b)", 1),
+            ("(Vec a b c)", 3),
+            ("(VecAdd (Vec a b) (Vec c d))", 2),
+            ("(<< (Vec a b c d) 1)", 4),
+        ],
+    )
+    def test_output_arity(self, text, arity):
+        assert output_arity(parse(text)) == arity

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+* every rewrite rule preserves the meaningful output slots of random
+  expressions it matches;
+* ICI canonicalisation is invariant under variable renaming;
+* the parser/printer round-trips arbitrary generated expressions;
+* constant folding preserves semantics;
+* the autograd's arithmetic matches numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.passes import constant_fold
+from repro.ir import parse, to_sexpr
+from repro.ir.analysis import variables
+from repro.ir.evaluate import evaluate, output_arity
+from repro.ir.nodes import Add, Const, Expr, Mul, Neg, Sub, Var, Vec
+from repro.ir.tokenize import canonical_form
+from repro.nn.tensor import Tensor
+from repro.trs.registry import default_ruleset
+
+_RULESET = default_ruleset()
+
+# ---------------------------------------------------------------------------
+# Expression strategies
+# ---------------------------------------------------------------------------
+_VARIABLE_NAMES = tuple(f"x{i}" for i in range(6))
+
+
+def _scalar_expressions(max_depth: int = 3) -> st.SearchStrategy[Expr]:
+    leaves = st.one_of(
+        st.sampled_from(_VARIABLE_NAMES).map(Var),
+        st.integers(min_value=-4, max_value=4).map(Const),
+    )
+
+    def extend(children: st.SearchStrategy[Expr]) -> st.SearchStrategy[Expr]:
+        return st.one_of(
+            st.tuples(children, children).map(lambda pair: Add(*pair)),
+            st.tuples(children, children).map(lambda pair: Sub(*pair)),
+            st.tuples(children, children).map(lambda pair: Mul(*pair)),
+            children.map(Neg),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=2 ** max_depth)
+
+
+def _expressions() -> st.SearchStrategy[Expr]:
+    scalars = _scalar_expressions()
+    vectors = st.lists(scalars, min_size=1, max_size=4).map(lambda items: Vec(*items))
+    return st.one_of(scalars, vectors)
+
+
+def _environment(expr: Expr, fill: int = 3) -> dict:
+    return {name: ((index * 7 + fill) % 11) - 5 for index, name in enumerate(variables(expr))}
+
+
+def _meaningful(expr: Expr, env: dict, arity: int) -> list:
+    return evaluate(expr, env, slot_count=48)[:arity]
+
+
+# ---------------------------------------------------------------------------
+# Rule soundness
+# ---------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(expr=_expressions(), rule_index=st.integers(min_value=0, max_value=len(_RULESET) - 1), data=st.data())
+def test_rules_preserve_meaningful_slots(expr, rule_index, data):
+    rule = _RULESET[rule_index]
+    locations = rule.find(expr)
+    if not locations:
+        return
+    location = data.draw(st.sampled_from(locations))
+    rewritten = rule.apply_at(expr, location)
+    env = _environment(expr)
+    arity = output_arity(expr)
+    assert _meaningful(expr, env, arity) == _meaningful(rewritten, env, arity), rule.name
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr=_expressions())
+def test_constant_fold_preserves_semantics(expr):
+    env = _environment(expr)
+    arity = output_arity(expr)
+    folded = constant_fold(expr)
+    assert _meaningful(expr, env, arity) == _meaningful(folded, env, arity)
+
+
+# ---------------------------------------------------------------------------
+# Tokenization / parsing invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(expr=_expressions())
+def test_parser_printer_round_trip(expr):
+    assert parse(to_sexpr(expr)) == expr
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=_expressions())
+def test_ici_invariant_under_renaming(expr):
+    mapping = {name: f"renamed_{index}" for index, name in enumerate(variables(expr))}
+
+    def rename(node: Expr) -> Expr:
+        if isinstance(node, Var):
+            return Var(mapping[node.name])
+        if node.is_leaf():
+            return node
+        return node.with_children([rename(child) for child in node.children])
+
+    assert canonical_form(expr) == canonical_form(rename(expr))
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr=_scalar_expressions())
+def test_cost_is_nonnegative_and_monotone_in_size(expr):
+    from repro.core.cost import CostModel
+
+    model = CostModel()
+    assert model.cost(expr) >= 0.0
+    wrapped = Add(expr, Var("extra"))
+    assert model.cost(wrapped) >= model.cost(expr)
+
+
+# ---------------------------------------------------------------------------
+# Autograd arithmetic invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=-3, max_value=3, allow_nan=False), min_size=2, max_size=6),
+    scale=st.floats(min_value=-2, max_value=2, allow_nan=False),
+)
+def test_tensor_matches_numpy(values, scale):
+    array = np.asarray(values)
+    tensor = Tensor(array, requires_grad=True)
+    result = (tensor * scale + 1.0).sum()
+    assert np.isclose(result.item(), (array * scale + 1.0).sum())
+    result.backward()
+    assert np.allclose(tensor.grad, np.full_like(array, scale))
