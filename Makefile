@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test benchmarks smoke docs-check all
+
+# Tier-1 test suite (tests/ + benchmarks/ collected from the repo root).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Regenerate the paper's figure/table series at reproduction scale.
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Fast CI smoke: tier-1 tests plus a 2-worker compilation-service run.
+smoke:
+	$(PYTHON) -m pytest tests -x -q
+	$(PYTHON) scripts/service_smoke.py --workers 2
+
+# Fail when README code snippets no longer execute.
+docs-check:
+	$(PYTHON) scripts/check_docs.py README.md
+
+all: test docs-check

@@ -14,6 +14,7 @@ import pytest
 
 from repro.experiments import make_default_agent, run_main_comparison
 from repro.kernels import benchmark_by_name
+from repro.service import CompilationCache
 
 #: Benchmarks used by the main comparison figures (a representative slice of
 #: every suite; the full list of Table 6 is available via benchmark_suite()).
@@ -50,5 +51,16 @@ def trained_agent():
 
 
 @pytest.fixture(scope="session")
-def main_comparison(main_benchmarks):
-    return run_main_comparison(benchmarks=main_benchmarks, train_timesteps=TRAIN_TIMESTEPS)
+def compilation_cache():
+    """One compilation cache shared by every figure/table module, so kernels
+    compiled for one figure are reused by every other figure in the session."""
+    return CompilationCache(capacity=1024)
+
+
+@pytest.fixture(scope="session")
+def main_comparison(main_benchmarks, compilation_cache):
+    return run_main_comparison(
+        benchmarks=main_benchmarks,
+        train_timesteps=TRAIN_TIMESTEPS,
+        cache=compilation_cache,
+    )

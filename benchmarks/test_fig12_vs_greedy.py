@@ -23,10 +23,12 @@ _BENCH_NAMES = (
 )
 
 
-def test_fig12_rl_vs_greedy_chehab(benchmark):
+def test_fig12_rl_vs_greedy_chehab(benchmark, compilation_cache):
     benchmarks = [benchmark_by_name(name) for name in _BENCH_NAMES]
     outcome = benchmark.pedantic(
-        lambda: run_greedy_comparison(benchmarks=benchmarks, train_timesteps=256),
+        lambda: run_greedy_comparison(
+            benchmarks=benchmarks, train_timesteps=256, cache=compilation_cache
+        ),
         rounds=1,
         iterations=1,
     )

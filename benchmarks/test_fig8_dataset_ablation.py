@@ -15,10 +15,12 @@ from repro.kernels import benchmark_by_name
 _BENCH_NAMES = ("dot_product_8", "l2_distance_8", "hamming_distance_8", "linear_regression_8")
 
 
-def test_fig8_llm_vs_random_training_data(benchmark):
+def test_fig8_llm_vs_random_training_data(benchmark, compilation_cache):
     benchmarks = [benchmark_by_name(name) for name in _BENCH_NAMES]
     outcome = benchmark.pedantic(
-        lambda: run_dataset_ablation(benchmarks=benchmarks, train_timesteps=256),
+        lambda: run_dataset_ablation(
+            benchmarks=benchmarks, train_timesteps=256, cache=compilation_cache
+        ),
         rounds=1,
         iterations=1,
     )

@@ -14,10 +14,12 @@ from repro.kernels import benchmark_by_name
 _BENCH_NAMES = ("dot_product_8", "l2_distance_8", "linear_regression_8", "gx_3x3")
 
 
-def test_fig9_step_vs_terminal_reward(benchmark):
+def test_fig9_step_vs_terminal_reward(benchmark, compilation_cache):
     benchmarks = [benchmark_by_name(name) for name in _BENCH_NAMES]
     outcome = benchmark.pedantic(
-        lambda: run_reward_term_ablation(benchmarks=benchmarks, train_timesteps=256),
+        lambda: run_reward_term_ablation(
+            benchmarks=benchmarks, train_timesteps=256, cache=compilation_cache
+        ),
         rounds=1,
         iterations=1,
     )

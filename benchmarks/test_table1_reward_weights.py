@@ -16,11 +16,13 @@ _WEIGHTS = ((1, 1, 1), (1, 50, 50), (1, 100, 100), (1, 150, 150))
 _BENCH_NAMES = ("dot_product_8", "l2_distance_8", "polynomial_regression_4", "max_4", "tree_100_100_5")
 
 
-def test_table1_reward_weight_sensitivity(benchmark):
+def test_table1_reward_weight_sensitivity(benchmark, compilation_cache):
     """Regenerate Table 1 (execution-time and noise factors vs (1,1,1))."""
     benchmarks = [benchmark_by_name(name) for name in _BENCH_NAMES]
     outcome = benchmark.pedantic(
-        lambda: run_reward_weight_ablation(benchmarks=benchmarks, weight_configs=_WEIGHTS),
+        lambda: run_reward_weight_ablation(
+            benchmarks=benchmarks, weight_configs=_WEIGHTS, cache=compilation_cache
+        ),
         rounds=1,
         iterations=1,
     )

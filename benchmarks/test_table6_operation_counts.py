@@ -23,10 +23,12 @@ _BENCH_NAMES = (
 )
 
 
-def test_table6_operation_counts(benchmark):
+def test_table6_operation_counts(benchmark, compilation_cache):
     benchmarks = [benchmark_by_name(name) for name in _BENCH_NAMES]
     results = benchmark.pedantic(
-        lambda: run_table6(benchmarks=benchmarks, train_timesteps=256),
+        lambda: run_table6(
+            benchmarks=benchmarks, train_timesteps=256, cache=compilation_cache
+        ),
         rounds=1,
         iterations=1,
     )

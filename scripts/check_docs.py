@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Execute the fenced Python code blocks of the repo's Markdown docs.
+
+``make docs-check`` runs this to guarantee README snippets never rot: every
+triple-backtick ``python`` block is executed in its own subprocess with
+``src/`` on the import path, and any exception fails the check.  Blocks that
+are deliberately illustrative can opt out with a ``# doc-only`` marker in
+their first line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_DOCS = ["README.md"]
+FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def extract_blocks(path: str) -> list:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    blocks = []
+    for match in FENCE.finditer(text):
+        code = match.group(1)
+        line = text[: match.start()].count("\n") + 2
+        lines = code.splitlines()
+        if lines and "# doc-only" in lines[0]:
+            continue
+        blocks.append((line, code))
+    return blocks
+
+
+def run_block(doc: str, line: int, code: str) -> bool:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    with tempfile.NamedTemporaryFile("w", suffix=".py", delete=False) as handle:
+        handle.write(code)
+        script = handle.name
+    try:
+        completed = subprocess.run(
+            [sys.executable, script],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+    finally:
+        os.unlink(script)
+    label = f"{doc}:{line}"
+    if completed.returncode != 0:
+        print(f"FAIL {label}")
+        sys.stdout.write(completed.stdout)
+        sys.stderr.write(completed.stderr)
+        return False
+    print(f"ok   {label}")
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("docs", nargs="*", default=DEFAULT_DOCS, help="Markdown files to check")
+    args = parser.parse_args()
+    failures = 0
+    total = 0
+    for doc in args.docs:
+        path = os.path.join(REPO_ROOT, doc)
+        if not os.path.exists(path):
+            print(f"FAIL {doc}: file not found")
+            failures += 1
+            continue
+        for line, code in extract_blocks(path):
+            total += 1
+            if not run_block(doc, line, code):
+                failures += 1
+    print(f"{total - failures}/{total} snippet(s) passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

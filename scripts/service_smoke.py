@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""CI smoke run of the parallel cached compilation service.
+
+Compiles a slice of the benchmark suite twice through one
+:class:`repro.service.CompilationService` — cold, then warm — and checks the
+three service invariants CI cares about:
+
+* a parallel (``--workers N``) batch completes with no serial fallback and
+  yields one report per job;
+* the warm rerun is served entirely from the cache;
+* warm wall-clock beats the cold run by at least the required factor.
+
+Exits non-zero (with a one-line reason) on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    )
+
+from repro.compiler.pipeline import CompilerOptions
+from repro.kernels.registry import small_benchmark_suite
+from repro.service import CompilationJob, CompilationService
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    args = parser.parse_args()
+
+    suite = small_benchmark_suite()
+    jobs = [CompilationJob(expr=b.expression(), name=b.name) for b in suite]
+    service = CompilationService(
+        options=CompilerOptions(optimizer="greedy", max_rewrite_steps=10),
+        workers=args.workers,
+    )
+
+    start = time.perf_counter()
+    cold = service.compile_batch(jobs)
+    cold_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = service.compile_batch(jobs)
+    warm_wall = time.perf_counter() - start
+
+    print(
+        f"jobs={len(jobs)} workers={args.workers} "
+        f"cold={cold_wall:.2f}s warm={warm_wall:.4f}s "
+        f"speedup={cold_wall / max(warm_wall, 1e-9):.0f}x "
+        f"fallback={cold.serial_fallback_reason!r}"
+    )
+    if cold.serial_fallback_reason is not None:
+        print("FAIL: parallel batch fell back to serial", file=sys.stderr)
+        return 1
+    if len(cold.reports) != len(jobs):
+        print("FAIL: missing compilation reports", file=sys.stderr)
+        return 1
+    if warm.cache_hits != len(jobs):
+        print("FAIL: warm run was not fully served from the cache", file=sys.stderr)
+        return 1
+    if cold_wall < args.min_speedup * warm_wall:
+        print(
+            f"FAIL: warm run not >={args.min_speedup}x faster "
+            f"(cold {cold_wall:.3f}s, warm {warm_wall:.3f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,9 @@ The package is organised around the paper's system:
   kernels.
 * :mod:`repro.experiments` -- harnesses regenerating every table and figure
   of the paper's evaluation.
+* :mod:`repro.service` -- the parallel, cached compilation service: a
+  content-addressed compilation cache plus cost-aware parallel batch
+  compilation over any of the compilers above.
 """
 
 __version__ = "0.1.0"

@@ -42,6 +42,7 @@ from repro.rl.flat_policy import FlatActorCritic
 from repro.rl.policy import HierarchicalActorCritic, PolicyConfig
 from repro.rl.ppo import PPOConfig, PPOTrainer
 from repro.rl.reward import RewardConfig
+from repro.service import CompilationCache
 from repro.trs.registry import default_ruleset
 
 __all__ = [
@@ -86,6 +87,8 @@ def run_reward_weight_ablation(
     benchmarks: Optional[Sequence[Benchmark]] = None,
     weight_configs: Sequence[Tuple[float, float, float]] = ((1, 1, 1), (1, 50, 50), (1, 100, 100)),
     input_seed: int = 0,
+    workers: int = 1,
+    cache: Optional[CompilationCache] = None,
 ) -> RewardWeightAblationResult:
     """Vary ``(w_ops, w_depth, w_mult)`` and compare runtime and noise (Table 1).
 
@@ -98,7 +101,7 @@ def run_reward_weight_ablation(
     for weights in weight_configs:
         model = CostModel(weights=CostWeights(ops=weights[0], depth=weights[1], mult_depth=weights[2]))
         compilers[str(tuple(weights))] = GreedyChehabCompiler(cost_model=model)
-    runner = BenchmarkRunner(compilers, input_seed=input_seed)
+    runner = BenchmarkRunner(compilers, input_seed=input_seed, workers=workers, cache=cache)
     results = runner.run(benchmarks)
 
     outcome = RewardWeightAblationResult(weight_configs=list(weight_configs), results=results)
@@ -129,6 +132,8 @@ def run_dataset_ablation(
     benchmarks: Optional[Sequence[Benchmark]] = None,
     train_timesteps: int = 384,
     input_seed: int = 0,
+    workers: int = 1,
+    cache: Optional[CompilationCache] = None,
 ) -> DatasetAblationResult:
     """Train one agent on motif ("LLM-like") data and one on random data (Fig. 8)."""
     from repro.experiments.reporting import series_by_compiler
@@ -146,6 +151,8 @@ def run_dataset_ablation(
             "Random data": make_agent_compiler(random_agent),
         },
         input_seed=input_seed,
+        workers=workers,
+        cache=cache,
     )
     results = runner.run(benchmarks)
     return DatasetAblationResult(
@@ -172,6 +179,8 @@ def run_reward_term_ablation(
     benchmarks: Optional[Sequence[Benchmark]] = None,
     train_timesteps: int = 384,
     input_seed: int = 0,
+    workers: int = 1,
+    cache: Optional[CompilationCache] = None,
 ) -> RewardTermAblationResult:
     """Compare agents trained with and without the terminal reward (Fig. 9)."""
     from repro.experiments.reporting import series_by_compiler
@@ -189,6 +198,8 @@ def run_reward_term_ablation(
             "step-only": make_agent_compiler(step_only_agent),
         },
         input_seed=input_seed,
+        workers=workers,
+        cache=cache,
     )
     results = runner.run(benchmarks)
     return RewardTermAblationResult(
@@ -311,6 +322,8 @@ def run_greedy_comparison(
     benchmarks: Optional[Sequence[Benchmark]] = None,
     train_timesteps: int = 512,
     input_seed: int = 0,
+    workers: int = 1,
+    cache: Optional[CompilationCache] = None,
 ) -> GreedyComparisonResult:
     """Compare the original CHEHAB (greedy TRS) against CHEHAB RL (Fig. 12)."""
     from repro.experiments.reporting import series_by_compiler
@@ -323,6 +336,8 @@ def run_greedy_comparison(
             "CHEHAB": GreedyChehabCompiler(),
         },
         input_seed=input_seed,
+        workers=workers,
+        cache=cache,
     )
     results = runner.run(benchmarks)
     return GreedyComparisonResult(

@@ -16,13 +16,14 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-from repro.compiler.executor import execute
+from repro.compiler.executor import ExecutionReport, execute
 from repro.compiler.pipeline import CompilationReport, Compiler, CompilerOptions
 from repro.kernels.registry import Benchmark
 from repro.rl.agent import ChehabAgent
 from repro.rl.policy import PolicyConfig
 from repro.rl.ppo import PPOConfig
 from repro.rl.reward import RewardConfig
+from repro.service import BatchReport, CompilationCache, CompilationJob, CompilationService
 
 __all__ = [
     "BenchmarkResult",
@@ -69,14 +70,73 @@ def geometric_mean(values: Sequence[float]) -> float:
 
 
 class BenchmarkRunner:
-    """Compile + execute + verify benchmark kernels under several compilers."""
+    """Compile + execute + verify benchmark kernels under several compilers.
 
-    def __init__(self, compilers: Mapping[str, object], input_seed: int = 0) -> None:
+    All compilation is routed through :class:`CompilationService`: each
+    configured compiler is wrapped in a service sharing one
+    :class:`CompilationCache`, so repeated runs (and kernels shared between
+    experiments) skip recompilation, and ``workers > 1`` fans each
+    compiler's jobs out across a cost-balanced process pool.
+    """
+
+    def __init__(
+        self,
+        compilers: Mapping[str, object],
+        input_seed: int = 0,
+        *,
+        workers: int = 1,
+        cache: Optional[CompilationCache] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
         """``compilers`` maps a label to an object with ``compile_expression``."""
         if not compilers:
             raise ValueError("BenchmarkRunner needs at least one compiler")
         self.compilers = dict(compilers)
         self.input_seed = input_seed
+        self.cache = cache if cache is not None else CompilationCache(directory=cache_dir)
+        self.services: Dict[str, CompilationService] = {
+            label: CompilationService(compiler, workers=workers, cache=self.cache)
+            for label, compiler in self.compilers.items()
+        }
+        #: Per-label batch accounting of the most recent :meth:`run` call.
+        self.last_batch_reports: Dict[str, BatchReport] = {}
+
+    def _make_result(
+        self,
+        benchmark: Benchmark,
+        label: str,
+        report: CompilationReport,
+        reference: Sequence[int],
+        inputs: Mapping[str, int],
+    ) -> BenchmarkResult:
+        execution: ExecutionReport = execute(report.circuit, inputs)
+        # Read the outputs the circuit itself declares, in declaration order;
+        # multi-output circuits are verified on the concatenation instead of
+        # whatever single entry dict iteration happens to yield first.
+        declared = [name for _, name, _ in report.circuit.outputs]
+        output: List[int] = []
+        for name in declared:
+            output.extend(execution.outputs.get(name, []))
+        correct = list(output) == list(reference)
+        stats = report.stats
+        return BenchmarkResult(
+            benchmark=benchmark.name,
+            compiler=label,
+            compile_time_s=report.compile_time_s,
+            execution_latency_ms=execution.latency_ms,
+            consumed_noise_budget=execution.consumed_noise_budget,
+            remaining_noise_budget=execution.remaining_noise_budget,
+            noise_budget_exhausted=execution.noise_budget_exhausted,
+            correct=correct,
+            depth=stats.depth,
+            mult_depth=stats.mult_depth,
+            ct_ct_multiplications=stats.ct_ct_multiplications,
+            ct_pt_multiplications=stats.ct_pt_multiplications,
+            rotations=stats.rotations,
+            additions=stats.additions,
+            subtractions=stats.subtractions,
+            total_operations=stats.total_operations,
+        )
 
     def run_benchmark(self, benchmark: Benchmark) -> List[BenchmarkResult]:
         """Run every configured compiler on one benchmark."""
@@ -84,39 +144,35 @@ class BenchmarkRunner:
         expr = benchmark.expression()
         inputs = benchmark.sample_inputs(seed=self.input_seed)
         reference = benchmark.reference(inputs)
-        for label, compiler in self.compilers.items():
-            report: CompilationReport = compiler.compile_expression(expr, name=benchmark.name)
-            execution = execute(report.circuit, inputs)
-            output = next(iter(execution.outputs.values())) if execution.outputs else []
-            correct = list(output) == list(reference)
-            stats = report.stats
-            results.append(
-                BenchmarkResult(
-                    benchmark=benchmark.name,
-                    compiler=label,
-                    compile_time_s=report.compile_time_s,
-                    execution_latency_ms=execution.latency_ms,
-                    consumed_noise_budget=execution.consumed_noise_budget,
-                    remaining_noise_budget=execution.remaining_noise_budget,
-                    noise_budget_exhausted=execution.noise_budget_exhausted,
-                    correct=correct,
-                    depth=stats.depth,
-                    mult_depth=stats.mult_depth,
-                    ct_ct_multiplications=stats.ct_ct_multiplications,
-                    ct_pt_multiplications=stats.ct_pt_multiplications,
-                    rotations=stats.rotations,
-                    additions=stats.additions,
-                    subtractions=stats.subtractions,
-                    total_operations=stats.total_operations,
-                )
-            )
+        for label, service in self.services.items():
+            report = service.compile_expression(expr, name=benchmark.name)
+            results.append(self._make_result(benchmark, label, report, reference, inputs))
         return results
 
     def run(self, benchmarks: Iterable[Benchmark]) -> List[BenchmarkResult]:
-        """Run every compiler on every benchmark."""
+        """Run every compiler on every benchmark.
+
+        The compile phase is batched per compiler through the service (one
+        cost-balanced fan-out per label); execution and verification stay
+        serial because the FHE simulator dominates neither phase.
+        """
+        suite = list(benchmarks)
+        jobs = [CompilationJob(expr=b.expression(), name=b.name) for b in suite]
+        self.last_batch_reports = {}
         results: List[BenchmarkResult] = []
-        for benchmark in benchmarks:
-            results.extend(self.run_benchmark(benchmark))
+        per_label_reports: Dict[str, List[CompilationReport]] = {}
+        for label, service in self.services.items():
+            batch = service.compile_batch(jobs)
+            self.last_batch_reports[label] = batch
+            per_label_reports[label] = batch.reports
+        for index, benchmark in enumerate(suite):
+            inputs = benchmark.sample_inputs(seed=self.input_seed)
+            reference = benchmark.reference(inputs)
+            for label in self.services:
+                report = per_label_reports[label][index]
+                results.append(
+                    self._make_result(benchmark, label, report, reference, inputs)
+                )
         return results
 
     # -- summaries -------------------------------------------------------------------

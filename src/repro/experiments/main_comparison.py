@@ -21,6 +21,7 @@ from repro.experiments.harness import (
 )
 from repro.experiments.reporting import series_by_compiler
 from repro.kernels.registry import Benchmark, small_benchmark_suite
+from repro.service import CompilationCache
 
 __all__ = ["MainComparisonResult", "run_main_comparison"]
 
@@ -53,13 +54,22 @@ def run_main_comparison(
     benchmarks: Optional[Sequence[Benchmark]] = None,
     train_timesteps: int = 512,
     input_seed: int = 0,
+    workers: int = 1,
+    cache: Optional[CompilationCache] = None,
 ) -> MainComparisonResult:
-    """Run the CHEHAB RL vs Coyote comparison and summarise it."""
+    """Run the CHEHAB RL vs Coyote comparison and summarise it.
+
+    Compilation goes through the :class:`repro.service.CompilationService`;
+    pass ``workers > 1`` to fan kernels out across a process pool and a
+    shared ``cache`` to skip recompilation across repeated runs.
+    """
     benchmarks = list(benchmarks) if benchmarks is not None else small_benchmark_suite()
     agent = make_default_agent(train_timesteps=train_timesteps)
     runner = BenchmarkRunner(
         {CHEHAB_RL: make_agent_compiler(agent), COYOTE: CoyoteCompiler()},
         input_seed=input_seed,
+        workers=workers,
+        cache=cache,
     )
     results = runner.run(benchmarks)
     comparison = MainComparisonResult(results=results)

@@ -23,6 +23,7 @@ from repro.experiments.harness import (
     make_default_agent,
 )
 from repro.kernels.registry import Benchmark, small_benchmark_suite
+from repro.service import CompilationCache
 
 __all__ = ["TABLE6_CONFIGURATIONS", "run_table6"]
 
@@ -38,6 +39,8 @@ def run_table6(
     benchmarks: Optional[Sequence[Benchmark]] = None,
     train_timesteps: int = 512,
     input_seed: int = 0,
+    workers: int = 1,
+    cache: Optional[CompilationCache] = None,
 ) -> List[BenchmarkResult]:
     """Collect the Table 6 rows for every benchmark and configuration."""
     benchmarks = list(benchmarks) if benchmarks is not None else small_benchmark_suite()
@@ -50,5 +53,5 @@ def run_table6(
             agent, layout_before_encryption=False
         ),
     }
-    runner = BenchmarkRunner(compilers, input_seed=input_seed)
+    runner = BenchmarkRunner(compilers, input_seed=input_seed, workers=workers, cache=cache)
     return runner.run(benchmarks)

@@ -64,6 +64,26 @@ class Expr:
             f"{type(self).__name__} nodes are immutable; build a new node instead"
         )
 
+    # -- pickling ----------------------------------------------------------
+    # The default slot-based pickling calls ``setattr`` on restore, which the
+    # immutability guard rejects; restore through ``object.__setattr__``.
+    # The cached ``_hash`` is deliberately dropped: hash() of the strings it
+    # derives from is salted per process (PYTHONHASHSEED), so a pickled value
+    # would disagree with hashes computed in the receiving process and break
+    # Expr-keyed tables (CSE caches, beam-search seen sets).
+    def __getstate__(self) -> dict:
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if slot != "_hash" and hasattr(self, slot):
+                    state[slot] = getattr(self, slot)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        object.__setattr__(self, "_hash", None)
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+
     # -- generic interface -------------------------------------------------
     def with_children(self, children: Sequence["Expr"]) -> "Expr":
         """Return a copy of this node with ``children`` replaced.

@@ -1,0 +1,275 @@
+"""Content-addressed compilation cache (in-memory LRU + optional disk tier).
+
+A cache entry is one :class:`~repro.compiler.pipeline.CompilationReport`,
+keyed by a canonical SHA-256 hash of ``(expression, compiler configuration)``:
+
+* the expression contributes its printed s-expression form (structural
+  identity — two structurally equal expressions share an entry);
+* the compiler contributes a *fingerprint*: a canonical, field-by-field
+  rendering of its :class:`~repro.compiler.pipeline.CompilerOptions` (and,
+  for non-pipeline compilers such as the Coyote baseline, of their own
+  options dataclass).  Every field that can change the compiled circuit is
+  part of the fingerprint, so flipping any knob misses the cache instead of
+  returning a stale circuit.
+
+Compilers whose configuration cannot be rendered canonically (e.g. an
+arbitrary optimizer object without a ``cache_token``) get a per-instance
+fingerprint: they still enjoy in-memory hits for repeated expressions within
+one process, but their entries are marked *unstable* and are never persisted
+to the disk tier, where they could poison later runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import os
+import pickle
+import tempfile
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.compiler.pipeline import CompilationReport, Compiler, CompilerOptions
+from repro.ir.nodes import Expr
+from repro.ir.printer import to_sexpr
+
+__all__ = [
+    "CacheStats",
+    "CompilationCache",
+    "compiler_fingerprint",
+    "cache_key",
+]
+
+
+# ---------------------------------------------------------------------------
+# fingerprints and keys
+# ---------------------------------------------------------------------------
+def _render(value: object) -> str:
+    """Canonical textual rendering of a configuration value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = sorted(
+            (f.name, _render(getattr(value, f.name))) for f in dataclasses.fields(value)
+        )
+        inner = ",".join(f"{name}={rendered}" for name, rendered in fields)
+        return f"{type(value).__name__}({inner})"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_render(item) for item in value) + "]"
+    if isinstance(value, dict):
+        inner = ",".join(f"{k}={_render(v)}" for k, v in sorted(value.items()))
+        return "{" + inner + "}"
+    if isinstance(value, float):
+        return repr(value)
+    return repr(value)
+
+
+#: Monotonic per-instance tokens for objects without a canonical rendering.
+#: ``id()`` alone can be recycled after garbage collection, which would let
+#: a new optimizer silently hit a dead optimizer's cache entries.
+_instance_tokens = weakref.WeakKeyDictionary()
+_instance_counter = itertools.count(1)
+
+
+def _instance_token(obj: object) -> str:
+    try:
+        token = _instance_tokens.get(obj)
+        if token is None:
+            token = next(_instance_counter)
+            _instance_tokens[obj] = token
+    except TypeError:  # not weak-referenceable; id() is the best we have
+        return f"{id(obj):#x}"
+    return f"i{token}"
+
+
+def _optimizer_fingerprint(optimizer: object) -> Tuple[str, bool]:
+    """Fingerprint of the optimizer field; ``(text, stable)``."""
+    if optimizer is None or isinstance(optimizer, str):
+        return repr(optimizer), True
+    token = getattr(optimizer, "cache_token", None)
+    if callable(token):
+        token = token()
+    if token is not None:
+        return f"{type(optimizer).__name__}:{token}", True
+    # Arbitrary optimizer objects (e.g. a trained RL agent) have no canonical
+    # configuration rendering: fall back to a per-instance fingerprint that
+    # is valid only within this process.
+    return f"{type(optimizer).__name__}@{_instance_token(optimizer)}", False
+
+
+def compiler_fingerprint(compiler: object) -> Tuple[str, bool]:
+    """Canonical fingerprint of a compiler's configuration.
+
+    Returns ``(fingerprint, stable)``; ``stable`` is False when the
+    fingerprint is only meaningful within the current process (such entries
+    are kept out of the disk tier).
+    """
+    # Wrappers such as GreedyChehabCompiler delegate to an inner Compiler.
+    inner = getattr(compiler, "_compiler", None)
+    if isinstance(inner, Compiler):
+        return compiler_fingerprint(inner)
+    if isinstance(compiler, Compiler):
+        options = compiler.options
+        opt_text, stable = _optimizer_fingerprint(options.optimizer)
+        parts = [f"optimizer={opt_text}"]
+        for f in dataclasses.fields(CompilerOptions):
+            if f.name == "optimizer":
+                continue
+            parts.append(f"{f.name}={_render(getattr(options, f.name))}")
+        return f"Compiler({','.join(parts)})", stable
+    options = getattr(compiler, "options", None)
+    if dataclasses.is_dataclass(options) and not isinstance(options, type):
+        return f"{type(compiler).__name__}({_render(options)})", True
+    return f"{type(compiler).__name__}@{id(compiler):#x}", False
+
+
+def cache_key(expr: Expr, fingerprint: str) -> str:
+    """Content hash identifying one ``(expression, configuration)`` pair.
+
+    The package version is folded in so a persistent disk tier never serves
+    circuits produced by an older compiler after the code changes.
+    """
+    import repro
+
+    payload = f"{repro.__version__}\x1f{to_sexpr(expr)}\x1f{fingerprint}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# cache tiers
+# ---------------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Hit/miss counters of a :class:`CompilationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class CompilationCache:
+    """Two-tier content-addressed cache for compilation reports.
+
+    The first tier is an in-memory LRU of ``capacity`` reports.  When
+    ``directory`` is given, a second on-disk tier persists *stable* entries
+    (pickled reports named by their key) across processes and sessions; disk
+    hits are promoted back into the memory tier.
+    """
+
+    def __init__(self, capacity: int = 512, directory: Optional[str] = None) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self.directory = directory
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, CompilationReport]" = OrderedDict()
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, key: str) -> Optional[CompilationReport]:
+        """The cached report for ``key``, or None on a miss."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        entry = self._disk_get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._memory_put(key, entry)
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, report: CompilationReport, stable: bool = True) -> None:
+        """Store ``report`` under ``key``; unstable entries stay in memory."""
+        self.stats.stores += 1
+        self._memory_put(key, report)
+        if stable:
+            self._disk_put(key, report)
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (disk entries are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries or self._disk_path(key) is not None and os.path.exists(
+            self._disk_path(key)
+        )
+
+    # -- memory tier -------------------------------------------------------
+    def _memory_put(self, key: str, report: CompilationReport) -> None:
+        self._entries[key] = report
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- disk tier ---------------------------------------------------------
+    def _disk_path(self, key: str) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def _disk_get(self, key: str) -> Optional[CompilationReport]:
+        path = self._disk_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                report = pickle.load(handle)
+        except Exception:
+            # A truncated or incompatible entry is treated as a miss and
+            # removed so it cannot fail every later lookup.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        return report if isinstance(report, CompilationReport) else None
+
+    def _disk_put(self, key: str, report: CompilationReport) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            blob = pickle.dumps(report)
+        except Exception:
+            return  # unpicklable report: memory tier only
+        # Write-then-rename keeps concurrent readers from seeing torn files.
+        fd, temp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(temp_path, path)
+        except OSError:
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass

@@ -1,0 +1,346 @@
+"""The parallel, cached compilation service.
+
+:class:`CompilationService` wraps any compiler object exposing
+``compile_expression(expr, name) -> CompilationReport`` (the pipeline
+:class:`~repro.compiler.pipeline.Compiler`, the Coyote baseline, an
+RL-agent-wrapped compiler, ...) and adds two orthogonal production
+capabilities:
+
+1. **Content-addressed caching** — every compilation is keyed by a canonical
+   hash of ``(expression, compiler configuration)`` (see
+   :mod:`repro.service.cache`); repeated harness or ablation runs skip
+   recompilation entirely.
+2. **Cost-aware parallel batch compilation** — :meth:`compile_batch` fans
+   independent jobs out across a process pool, packing jobs onto workers
+   largest-first by their analytical :class:`~repro.core.cost.CostModel`
+   estimate (see :mod:`repro.service.scheduler`) so the slowest worker stops
+   dominating wall-clock time.
+
+The service degrades gracefully: with ``workers=1`` (the default) every job
+runs serially in-process, and when the compiler cannot be pickled for the
+process pool (e.g. it closes over a live RL agent holding unpicklable
+state), the batch transparently falls back to serial execution and records
+why in the :class:`BatchReport`.  Compilation is deterministic, so parallel
+and serial runs produce bit-identical circuit statistics.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.compiler.circuit import CircuitProgram
+from repro.compiler.pipeline import CompilationReport, Compiler, CompilerOptions
+from repro.core.cost import CostModel
+from repro.ir.nodes import Expr
+from repro.service.cache import CompilationCache, cache_key, compiler_fingerprint
+from repro.service.scheduler import partition_jobs
+
+__all__ = ["CompilationJob", "JobRecord", "BatchReport", "CompilationService"]
+
+
+@dataclass(frozen=True)
+class CompilationJob:
+    """One unit of work: an IR expression and the name of its circuit."""
+
+    expr: Expr
+    name: str = "circuit"
+
+
+@dataclass
+class JobRecord:
+    """Per-job accounting emitted by :meth:`CompilationService.compile_batch`."""
+
+    name: str
+    estimated_cost: float
+    cache_hit: bool
+    compile_time_s: float
+    worker: int  # -1 for cache hits and dedups, 0 for serial, >= 0 for pool workers
+    #: True when this job shared an expression with an earlier job in the
+    #: same batch and reused its report instead of compiling or hitting the
+    #: cross-batch cache.
+    deduplicated: bool = False
+
+
+@dataclass
+class BatchReport:
+    """Aggregate result of one batch compilation."""
+
+    reports: List[CompilationReport] = field(default_factory=list)
+    records: List[JobRecord] = field(default_factory=list)
+    #: Wall-clock time of the whole batch (lookup + scheduling + compilation).
+    wall_time_s: float = 0.0
+    #: Sum of the individual compile times (the serial-equivalent work).
+    total_compile_time_s: float = 0.0
+    #: Worker processes used for the compile phase (1 == serial).
+    workers: int = 1
+    #: Why the batch ran serially despite ``workers > 1`` (None otherwise).
+    serial_fallback_reason: Optional[str] = None
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for record in self.records if record.cache_hit)
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Serial-equivalent compile time over actual wall time."""
+        if self.wall_time_s <= 0.0:
+            return 1.0
+        return self.total_compile_time_s / self.wall_time_s
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": len(self.records),
+            "cache_hits": self.cache_hits,
+            "workers": self.workers,
+            "wall_time_s": self.wall_time_s,
+            "total_compile_time_s": self.total_compile_time_s,
+            "parallel_speedup": self.parallel_speedup,
+            "serial_fallback_reason": self.serial_fallback_reason,
+        }
+
+
+def _rename_report(report: CompilationReport, name: str) -> CompilationReport:
+    """A shallow copy of a cached report carrying the requested circuit name.
+
+    The cache is keyed by ``(expression, configuration)`` only, so one entry
+    can serve the same kernel under several benchmark names.
+    """
+    if report.name == name:
+        return report
+    circuit = report.circuit
+    renamed_circuit = CircuitProgram(
+        name=name,
+        instructions=circuit.instructions,
+        outputs=circuit.outputs,
+        scalar_inputs=circuit.scalar_inputs,
+    )
+    return replace(report, name=name, circuit=renamed_circuit)
+
+
+def _compile_plan(payload: bytes) -> List[CompilationReport]:
+    """Process-pool worker: compile one worker's jobs with its own compiler.
+
+    The compiler and jobs travel pickled in a single payload so the function
+    itself stays module-level (a requirement for pickling the callable).
+    """
+    compiler, jobs = pickle.loads(payload)
+    return [compiler.compile_expression(job.expr, name=job.name) for job in jobs]
+
+
+class CompilationService:
+    """Cached, cost-aware-parallel front end to any CHEHAB-style compiler.
+
+    Parameters
+    ----------
+    compiler:
+        Any object with ``compile_expression(expr, name)``.  When None, a
+        pipeline :class:`Compiler` is built from ``options``.
+    workers:
+        Worker processes for :meth:`compile_batch`.  ``1`` (default) keeps
+        everything serial and in-process.
+    cache:
+        A shared :class:`CompilationCache`; when None a private in-memory
+        cache is created (``cache_dir`` adds the on-disk tier to it).
+    cost_model:
+        Cost model used as the scheduling weight; defaults to the compiler's
+        own cost model when discoverable.
+    """
+
+    def __init__(
+        self,
+        compiler: Optional[object] = None,
+        *,
+        options: Optional[CompilerOptions] = None,
+        workers: int = 1,
+        cache: Optional[CompilationCache] = None,
+        cache_dir: Optional[str] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        if compiler is None:
+            compiler = Compiler(options)
+        elif options is not None:
+            raise ValueError("pass either a compiler or options, not both")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if not hasattr(compiler, "compile_expression"):
+            raise TypeError("compiler must expose compile_expression(expr, name)")
+        self.compiler = compiler
+        self.workers = workers
+        self.cache = cache if cache is not None else CompilationCache(directory=cache_dir)
+        self.cost_model = cost_model if cost_model is not None else self._discover_cost_model()
+        self._fingerprint, self._stable = compiler_fingerprint(compiler)
+
+    def _discover_cost_model(self) -> CostModel:
+        for holder in (self.compiler, getattr(self.compiler, "_compiler", None)):
+            if holder is None:
+                continue
+            options = getattr(holder, "options", None)
+            model = getattr(options, "cost_model", None) or getattr(holder, "cost_model", None)
+            if isinstance(model, CostModel):
+                return model
+        return CostModel()
+
+    # -- cache plumbing ----------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """The compiler-configuration part of this service's cache keys."""
+        return self._fingerprint
+
+    def job_key(self, expr: Expr) -> str:
+        """The cache key of ``expr`` under this service's compiler."""
+        return cache_key(expr, self._fingerprint)
+
+    # -- single-job interface (drop-in compiler) ---------------------------
+    def compile_expression(self, expr: Expr, name: str = "circuit") -> CompilationReport:
+        """Compile one expression through the cache (serial)."""
+        key = self.job_key(expr)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return _rename_report(cached, name)
+        report = self.compiler.compile_expression(expr, name=name)
+        self.cache.put(key, report, stable=self._stable)
+        return report
+
+    # -- batch interface ---------------------------------------------------
+    def compile_batch(
+        self, jobs: Iterable[Union[CompilationJob, Expr, Tuple[Expr, str]]]
+    ) -> BatchReport:
+        """Compile independent jobs, in parallel when ``workers > 1``.
+
+        Jobs may be given as :class:`CompilationJob`, bare expressions, or
+        ``(expr, name)`` pairs.  Reports come back in input order.
+        """
+        start = time.perf_counter()
+        normalized = [self._normalize_job(job) for job in jobs]
+        batch = BatchReport(workers=self.workers)
+        reports: List[Optional[CompilationReport]] = [None] * len(normalized)
+        records: List[Optional[JobRecord]] = [None] * len(normalized)
+
+        # 1. Serve what the cache already has.  Identical expressions within
+        # one batch are compiled once: the first occurrence of each key is
+        # the representative job, later occurrences fan its report out.
+        keys: List[str] = []
+        pending: List[int] = []  # representative index per unique missing key
+        duplicates: Dict[str, List[int]] = {}
+        for index, job in enumerate(normalized):
+            estimate = float(self.cost_model.cost(job.expr))
+            key = self.job_key(job.expr)
+            keys.append(key)
+            cached = self.cache.get(key) if key not in duplicates else None
+            if cached is not None:
+                reports[index] = _rename_report(cached, job.name)
+                records[index] = JobRecord(
+                    name=job.name,
+                    estimated_cost=estimate,
+                    cache_hit=True,
+                    compile_time_s=0.0,
+                    worker=-1,
+                )
+            else:
+                records[index] = JobRecord(
+                    name=job.name,
+                    estimated_cost=estimate,
+                    cache_hit=False,
+                    compile_time_s=0.0,
+                    worker=0,
+                )
+                if key in duplicates:
+                    duplicates[key].append(index)
+                else:
+                    duplicates[key] = []
+                    pending.append(index)
+
+        # 2. Compile the misses (one representative per unique key).
+        if pending:
+            workers = min(self.workers, len(pending))
+            if workers > 1:
+                weights = [records[index].estimated_cost for index in pending]
+                payloads = self._parallel_payloads(normalized, pending, weights, workers)
+                if payloads is None:
+                    self._compile_serial(normalized, pending, reports, records)
+                    batch.serial_fallback_reason = (
+                        "compiler or jobs are not picklable; ran serially"
+                    )
+                else:
+                    self._compile_parallel(payloads, workers, reports, records)
+            else:
+                self._compile_serial(normalized, pending, reports, records)
+            for index in pending:
+                report = reports[index]
+                records[index].compile_time_s = report.compile_time_s
+                self.cache.put(keys[index], report, stable=self._stable)
+                for duplicate in duplicates[keys[index]]:
+                    reports[duplicate] = _rename_report(report, normalized[duplicate].name)
+                    records[duplicate].deduplicated = True
+                    records[duplicate].worker = -1
+
+        batch.reports = [report for report in reports if report is not None]
+        batch.records = [record for record in records if record is not None]
+        batch.total_compile_time_s = sum(record.compile_time_s for record in batch.records)
+        batch.wall_time_s = time.perf_counter() - start
+        return batch
+
+    # -- internals ---------------------------------------------------------
+    @staticmethod
+    def _normalize_job(job: Union[CompilationJob, Expr, Tuple[Expr, str]]) -> CompilationJob:
+        if isinstance(job, CompilationJob):
+            return job
+        if isinstance(job, Expr):
+            return CompilationJob(expr=job)
+        expr, name = job
+        return CompilationJob(expr=expr, name=str(name))
+
+    def _compile_serial(
+        self,
+        jobs: Sequence[CompilationJob],
+        pending: Sequence[int],
+        reports: List[Optional[CompilationReport]],
+        records: List[Optional[JobRecord]],
+    ) -> None:
+        for index in pending:
+            job = jobs[index]
+            reports[index] = self.compiler.compile_expression(job.expr, name=job.name)
+            records[index].worker = 0
+
+    def _parallel_payloads(
+        self,
+        jobs: Sequence[CompilationJob],
+        pending: Sequence[int],
+        weights: Sequence[float],
+        workers: int,
+    ) -> Optional[List[Tuple[List[int], bytes]]]:
+        """Pickled per-worker payloads, or None when pickling is impossible."""
+        plans = partition_jobs(weights, workers)
+        payloads: List[Tuple[List[int], bytes]] = []
+        try:
+            for plan in plans:
+                if not plan.job_indices:
+                    continue
+                plan_jobs = [jobs[pending[i]] for i in plan.job_indices]
+                payload = pickle.dumps((self.compiler, plan_jobs))
+                payloads.append(([pending[i] for i in plan.job_indices], payload))
+        except Exception:
+            return None
+        return payloads
+
+    def _compile_parallel(
+        self,
+        payloads: List[Tuple[List[int], bytes]],
+        workers: int,
+        reports: List[Optional[CompilationReport]],
+        records: List[Optional[JobRecord]],
+    ) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (indices, worker_id, pool.submit(_compile_plan, payload))
+                for worker_id, (indices, payload) in enumerate(payloads)
+            ]
+            for indices, worker_id, future in futures:
+                for index, report in zip(indices, future.result()):
+                    reports[index] = report
+                    records[index].worker = worker_id
