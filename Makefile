@@ -16,8 +16,8 @@ smoke:
 	$(PYTHON) -m pytest tests -x -q
 	$(PYTHON) scripts/service_smoke.py --workers 2
 
-# Fail when README code snippets no longer execute.
+# Fail when README / architecture code snippets no longer execute.
 docs-check:
-	$(PYTHON) scripts/check_docs.py README.md
+	$(PYTHON) scripts/check_docs.py README.md docs/ARCHITECTURE.md
 
 all: test docs-check

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import CompilationCache
 from repro.experiments import make_default_agent, run_main_comparison
 from repro.kernels import benchmark_by_name
-from repro.service import CompilationCache
 
 #: Benchmarks used by the main comparison figures (a representative slice of
 #: every suite; the full list of Table 6 is available via benchmark_suite()).

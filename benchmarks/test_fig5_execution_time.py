@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.compiler import execute
 from repro.experiments import make_agent_compiler
-from repro.baselines import CoyoteCompiler
+from repro.compiler import build_compiler
 from repro.kernels import benchmark_by_name
 
 
@@ -51,7 +51,7 @@ def test_fig5_execution_dot_product_16_chehab(benchmark, trained_agent):
 def test_fig5_execution_dot_product_16_coyote(benchmark):
     """Simulated execution latency of the Coyote circuit for Dot Product 16."""
     bench = benchmark_by_name("dot_product_16")
-    report = CoyoteCompiler().compile_expression(bench.expression(), name=bench.name)
+    report = build_compiler("coyote").compile_expression(bench.expression(), name=bench.name)
     inputs = bench.sample_inputs(0)
     result = benchmark(lambda: execute(report.circuit, inputs))
     assert result.outputs["result"] == bench.reference(inputs)

@@ -10,7 +10,7 @@ size — rather than the absolute 27.9× factor (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from repro.baselines import CoyoteCompiler
+from repro.compiler import build_compiler
 from repro.experiments import make_agent_compiler
 from repro.kernels import benchmark_by_name
 
@@ -49,7 +49,7 @@ def test_fig6_compile_dot_product_16_chehab_rl(benchmark, trained_agent):
 def test_fig6_compile_dot_product_16_coyote(benchmark):
     """Compilation time of Dot Product 16 with the Coyote-style search."""
     bench = benchmark_by_name("dot_product_16")
-    compiler = CoyoteCompiler()
+    compiler = build_compiler("coyote")
     expr = bench.expression()
     report = benchmark(lambda: compiler.compile_expression(expr, name=bench.name))
     assert report.stats.total_operations > 0

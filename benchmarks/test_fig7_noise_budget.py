@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.compiler import execute
 from repro.experiments import make_agent_compiler
-from repro.baselines import CoyoteCompiler
+from repro.compiler import build_compiler
 from repro.kernels import benchmark_by_name
 
 
@@ -50,7 +50,7 @@ def test_fig7_noise_sort3_chehab_rl(benchmark, trained_agent):
 def test_fig7_noise_sort3_coyote(benchmark):
     """Noise consumption of the Coyote circuit for Sort 3."""
     bench = benchmark_by_name("sort_3")
-    report = CoyoteCompiler().compile_expression(bench.expression(), name=bench.name)
+    report = build_compiler("coyote").compile_expression(bench.expression(), name=bench.name)
     inputs = bench.sample_inputs(0)
     execution = benchmark(lambda: execute(report.circuit, inputs))
     assert execution.consumed_noise_budget > 0

@@ -1,15 +1,21 @@
 """Quickstart: compile, optimize and run one FHE kernel end to end.
 
-This walks through the paper's motivating example (Sec. 2): a small
-unstructured expression is staged with the embedded DSL, optimized by the
-term rewriting system, lowered to a ciphertext circuit and executed on the
-simulated BFV backend, verifying the decrypted result against the plaintext
-reference.
+This walks through the paper's motivating example (Sec. 2) on the unified
+compilation API: a small unstructured expression is staged with the embedded
+DSL, compiled with a named compiler from the registry
+(``repro.compile(...)``), executed on the simulated BFV backend and verified
+against the plaintext reference (``repro.execute(...)``).
 
 Run with:  python examples/quickstart.py
+
+The same facade is available on the command line:
+
+    python -m repro list-compilers
+    python -m repro run "(+ (* a b) c)" --inputs a=2,b=3,c=4
 """
 
-from repro.compiler import Compiler, CompilerOptions, Program, Ciphertext, execute, reference_output
+import repro
+from repro.compiler import Ciphertext, Program
 from repro.ir.printer import to_sexpr
 
 
@@ -25,25 +31,31 @@ def main() -> None:
     print("Source IR:")
     print(" ", to_sexpr(program.output_expr))
 
-    # 2. Compile with the greedy TRS optimizer (swap in a trained RL agent by
-    #    passing it as `optimizer=` -- see examples/train_agent.py).
-    compiler = Compiler(CompilerOptions(optimizer="greedy"))
-    report = compiler.compile_expression(program.output_expr, name=program.name)
+    print("\nRegistered compilers:")
+    for row in repro.list_compilers():
+        print(f"  {row['name']:<10} {row['description']}")
+
+    # 2. Compile with the greedy TRS configuration by name (swap in any other
+    #    registry name, or pass a trained RL agent via compiler="chehab-rl").
+    report = repro.compile(program, compiler="greedy")
 
     print(f"\nAnalytical cost: {report.initial_cost:.1f} -> {report.final_cost:.1f} "
           f"({report.cost_improvement:.0%} reduction)")
     print("Applied rewrites:", [step.rule_name for step in report.rewrite_steps])
     print("Circuit stats:", report.stats.as_dict())
+    print("Pipeline trace:")
+    for stage in report.trace.stages:
+        print(f"  {stage.name:<14} {stage.wall_time_s * 1000.0:8.3f} ms "
+              f"cost {stage.cost_before:.1f} -> {stage.cost_after:.1f}")
 
-    # 3. Execute on the simulated BFV backend and verify.
+    # 3. Execute on the simulated BFV backend and verify against plaintext.
     inputs = {f"v{i}": i for i in range(1, 11)}
-    execution = execute(report.circuit, inputs)
-    expected = reference_output(program.output_expr, inputs)
-    print(f"\nDecrypted output: {execution.outputs['result']}")
-    print(f"Plaintext reference: {expected}")
-    print(f"Simulated latency: {execution.latency_ms:.1f} ms, "
-          f"consumed noise budget: {execution.consumed_noise_budget:.1f} bits")
-    assert execution.outputs["result"] == expected, "decrypted output mismatch!"
+    outcome = repro.execute(report, inputs)
+    print(f"\nDecrypted output: {outcome.outputs}")
+    print(f"Plaintext reference: {outcome.reference}")
+    print(f"Simulated latency: {outcome.execution.latency_ms:.1f} ms, "
+          f"consumed noise budget: {outcome.execution.consumed_noise_budget:.1f} bits")
+    assert outcome.correct, "decrypted output mismatch!"
 
     # 4. Emit SEAL-style C++ for the compiled circuit.
     print("\nGenerated SEAL-style C++ (first lines):")

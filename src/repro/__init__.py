@@ -23,8 +23,37 @@ The package is organised around the paper's system:
 * :mod:`repro.service` -- the parallel, cached compilation service: a
   content-addressed compilation cache plus cost-aware parallel batch
   compilation over any of the compilers above.
+* :mod:`repro.api` -- the unified facade: ``repro.compile(source,
+  compiler="greedy")``, ``repro.execute(...)``, ``repro.list_compilers()``
+  (also exposed as the ``python -m repro`` CLI).
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
-__all__ = ["__version__"]
+#: Facade names re-exported lazily from :mod:`repro.api` so that
+#: ``import repro`` stays cheap and circular imports (the cache stamps
+#: ``repro.__version__`` into its keys) stay impossible.
+_API_EXPORTS = (
+    "compile",
+    "compile_batch",
+    "execute",
+    "list_compilers",
+    "describe_compiler",
+    "make_service",
+    "to_expression",
+    "RunOutcome",
+)
+
+__all__ = ["__version__", *_API_EXPORTS]
+
+
+def __getattr__(name):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_API_EXPORTS))

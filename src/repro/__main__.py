@@ -1,0 +1,220 @@
+"""``python -m repro`` — the command-line front end of the compilation API.
+
+Subcommands:
+
+* ``compile``  — compile one or more s-expression sources and print the
+  circuit statistics and per-stage pipeline trace (optionally the SEAL C++);
+* ``run``      — compile, execute on the simulated BFV backend and verify
+  against the plaintext reference;
+* ``list-compilers`` — show every registered compiler configuration.
+
+Sources are s-expressions in the paper's textual IR, e.g.::
+
+    python -m repro compile "(* (+ a b) (+ c d))" --compiler greedy
+    python -m repro run "(+ (* a b) c)" --inputs a=2,b=3,c=4
+    python -m repro compile @kernel.sexp --compiler coyote --cache-dir .cache
+    python -m repro list-compilers
+
+``@path`` reads a source from a file and ``-`` from stdin.  ``--option
+key=value`` forwards factory options to the registry (values are parsed as
+Python literals when possible).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro import api
+from repro.compiler.pipeline import CompilationReport
+
+
+def _read_source(token: str) -> str:
+    if token == "-":
+        return sys.stdin.read()
+    if token.startswith("@"):
+        with open(token[1:], "r", encoding="utf-8") as handle:
+            return handle.read()
+    return token
+
+
+def _parse_value(text: str) -> object:
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        pass
+    # Accept shell-style booleans: `--option select_rotation_keys=false`
+    # must not silently become the truthy string "false".
+    lowered = text.lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    return text
+
+
+def _parse_options(pairs: Optional[List[str]]) -> Dict[str, object]:
+    options: Dict[str, object] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"--option expects key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        options[key.strip()] = _parse_value(value.strip())
+    return options
+
+
+def _parse_inputs(specs: Optional[List[str]]) -> Optional[Dict[str, int]]:
+    if not specs:
+        return None
+    inputs: Dict[str, int] = {}
+    for spec in specs:
+        for pair in spec.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            if "=" not in pair:
+                raise SystemExit(f"--inputs expects name=int pairs, got {pair!r}")
+            key, _, value = pair.partition("=")
+            inputs[key.strip()] = int(value)
+    return inputs
+
+
+def _print_report(report: CompilationReport, emit_seal: bool) -> None:
+    print(f"circuit {report.name!r}")
+    print(f"  compile time : {report.compile_time_s * 1000.0:.2f} ms")
+    print(
+        f"  cost         : {report.initial_cost:.1f} -> {report.final_cost:.1f}"
+        f" ({report.cost_improvement:.0%} reduction)"
+    )
+    if report.rewrite_steps:
+        print(f"  rewrites     : {len(report.rewrite_steps)} step(s)")
+    print("  stats        :", json.dumps(report.stats.as_dict()))
+    if report.trace is not None:
+        print("  pipeline     :")
+        for stage in report.trace.stages:
+            print(
+                f"    {stage.name:<18} {stage.wall_time_s * 1000.0:9.3f} ms"
+                f"   cost {stage.cost_before:.1f} -> {stage.cost_after:.1f}"
+            )
+    if emit_seal:
+        print("  SEAL C++     :")
+        for line in report.seal_code().splitlines():
+            print(f"    {line}")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--compiler", default="greedy", help="registry name (see list-compilers)")
+    parser.add_argument(
+        "--option",
+        action="append",
+        metavar="KEY=VALUE",
+        help="compiler factory option (repeatable)",
+    )
+    parser.add_argument("--workers", type=int, default=1, help="process-pool workers for batches")
+    parser.add_argument("--cache-dir", default=None, help="directory for the on-disk cache tier")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.split("\n\n")[0])
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile s-expression sources and print stats + trace"
+    )
+    compile_parser.add_argument(
+        "sources", nargs="+", help="s-expression, @file, or - for stdin"
+    )
+    compile_parser.add_argument("--name", default=None, help="circuit name (single source)")
+    compile_parser.add_argument(
+        "--emit-seal", action="store_true", help="print the generated SEAL-style C++"
+    )
+    _add_common(compile_parser)
+
+    run_parser = subparsers.add_parser(
+        "run", help="compile, execute on the BFV simulator and verify"
+    )
+    run_parser.add_argument("source", help="s-expression, @file, or - for stdin")
+    run_parser.add_argument(
+        "--inputs",
+        action="append",
+        metavar="a=1,b=2",
+        help="program inputs (repeatable; default: seeded random values)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="seed for generated inputs")
+    run_parser.add_argument("--name", default=None, help="circuit name")
+    _add_common(run_parser)
+
+    subparsers.add_parser("list-compilers", help="show registered compiler configurations")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list-compilers":
+        rows = api.list_compilers()
+        width = max(len(row["name"]) for row in rows)
+        for row in rows:
+            print(f"{row['name']:<{width}}  {row['description']}")
+            if row["paper_config"]:
+                print(f"{'':<{width}}  ({row['paper_config']})")
+        return 0
+
+    options = _parse_options(args.option)
+
+    if args.command == "compile":
+        sources = [_read_source(token) for token in args.sources]
+        if len(sources) == 1:
+            report = api.compile(
+                sources[0],
+                args.compiler,
+                name=args.name,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                **options,
+            )
+            _print_report(report, args.emit_seal)
+        else:
+            batch = api.compile_batch(
+                sources,
+                args.compiler,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                **options,
+            )
+            for report in batch.reports:
+                _print_report(report, args.emit_seal)
+            print("batch        :", json.dumps(batch.as_dict()))
+        return 0
+
+    if args.command == "run":
+        outcome = api.execute(
+            _read_source(args.source),
+            _parse_inputs(args.inputs),
+            args.compiler,
+            seed=args.seed,
+            name=args.name,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            **options,
+        )
+        _print_report(outcome.report, emit_seal=False)
+        print("  inputs       :", json.dumps(outcome.inputs))
+        print("  outputs      :", outcome.outputs)
+        print("  reference    :", outcome.reference)
+        print(f"  latency      : {outcome.execution.latency_ms:.2f} ms")
+        print(f"  noise budget : {outcome.execution.consumed_noise_budget:.1f} bits consumed")
+        print("  verified     :", "OK" if outcome.correct else "MISMATCH")
+        return 0 if outcome.correct else 1
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `python -m repro ... | head`
+        sys.exit(0)

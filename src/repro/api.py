@@ -1,0 +1,246 @@
+"""The unified compilation facade: ``repro.compile`` / ``repro.execute``.
+
+One import gives the whole system behind names instead of hand-built
+objects::
+
+    import repro
+
+    report = repro.compile("(* (+ a b) (+ c d))", compiler="greedy")
+    outcome = repro.execute("(* (+ a b) (+ c d))", {"a": 1, "b": 2, "c": 3, "d": 4})
+    repro.list_compilers()
+
+Sources may be s-expression strings (the paper's textual IR), parsed
+:class:`~repro.ir.nodes.Expr` trees, or staged DSL
+:class:`~repro.compiler.dsl.Program` objects.  Compilers are addressed by
+registry name (with ``**options`` forwarded to the factory), by
+:class:`~repro.compiler.registry.CompilerSpec`, or by a live compiler
+object.  Every compilation runs through the
+:class:`~repro.service.service.CompilationService`, so ``cache_dir`` gives
+cross-process disk caching and ``workers`` fans batches out over a
+cost-balanced process pool.  ``python -m repro`` exposes the same facade on
+the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.compiler.dsl import Program
+from repro.compiler.executor import (
+    ExecutionReport,
+    declared_outputs,
+    execute as execute_circuit,
+    reference_output,
+)
+from repro.compiler.pipeline import CompilationReport
+from repro.compiler.registry import (
+    CompilerSpec,
+    available_compilers,
+    compiler_info,
+)
+from repro.ir.analysis import variables
+from repro.ir.nodes import Expr
+from repro.ir.parser import parse
+from repro.service.cache import CompilationCache
+from repro.service.service import BatchReport, CompilationJob, CompilationService
+
+__all__ = [
+    "Source",
+    "to_expression",
+    "make_service",
+    "compile",
+    "compile_batch",
+    "execute",
+    "RunOutcome",
+    "list_compilers",
+    "describe_compiler",
+    "CompilerSpec",
+    "CompilationCache",
+    "CompilationService",
+]
+
+#: Anything the facade accepts as a program: s-expression text, an IR
+#: expression, or a staged DSL program.
+Source = Union[str, Expr, Program]
+
+
+def to_expression(source: Source) -> Tuple[Expr, Optional[str]]:
+    """Normalize a source into ``(expression, suggested_name)``."""
+    if isinstance(source, Program):
+        return source.output_expr, source.name
+    if isinstance(source, Expr):
+        return source, None
+    if isinstance(source, str):
+        return parse(source), None
+    raise TypeError(
+        f"expected an s-expression string, Expr or Program, got {type(source).__name__}"
+    )
+
+
+def make_service(
+    compiler: Union[str, CompilerSpec, object] = "greedy",
+    *,
+    workers: int = 1,
+    cache: Optional[CompilationCache] = None,
+    cache_dir: Optional[str] = None,
+    **options: object,
+) -> CompilationService:
+    """A :class:`CompilationService` for a named (or given) compiler."""
+    if isinstance(compiler, str) and options:
+        compiler = CompilerSpec.create(compiler, **options)
+    elif options:
+        raise ValueError("compiler options require a registry name, not an instance")
+    return CompilationService(compiler, workers=workers, cache=cache, cache_dir=cache_dir)
+
+
+def compile(
+    source: Source,
+    compiler: Union[str, CompilerSpec, object, None] = None,
+    *,
+    name: Optional[str] = None,
+    workers: int = 1,
+    cache: Optional[CompilationCache] = None,
+    cache_dir: Optional[str] = None,
+    service: Optional[CompilationService] = None,
+    **options: object,
+) -> CompilationReport:
+    """Compile one program under a named compiler configuration.
+
+    ``compiler`` defaults to ``"greedy"``.  Pass ``service=`` to reuse an
+    existing :class:`CompilationService` (its compiler and cache then apply,
+    so combining it with ``compiler``/``workers``/``cache`` arguments is an
+    error rather than a silent override).
+
+    Returns the same :class:`CompilationReport` (stats, costs, rewrite steps,
+    pipeline trace, SEAL codegen) every compiler in the repo produces.
+    """
+    expr, suggested = to_expression(source)
+    if service is not None:
+        if compiler is not None or options or cache is not None or cache_dir is not None or workers != 1:
+            raise ValueError(
+                "pass either service= or compiler/options/workers/cache arguments, not both"
+            )
+    else:
+        service = make_service(
+            compiler if compiler is not None else "greedy",
+            workers=workers,
+            cache=cache,
+            cache_dir=cache_dir,
+            **options,
+        )
+    return service.compile_expression(expr, name=name or suggested or "circuit")
+
+
+def compile_batch(
+    sources: Iterable[Union[Source, Tuple[Source, str]]],
+    compiler: Union[str, CompilerSpec, object] = "greedy",
+    *,
+    workers: int = 1,
+    cache: Optional[CompilationCache] = None,
+    cache_dir: Optional[str] = None,
+    **options: object,
+) -> BatchReport:
+    """Compile many programs in one cost-balanced (optionally parallel) batch."""
+    jobs: List[CompilationJob] = []
+    for index, item in enumerate(sources):
+        explicit = None
+        if isinstance(item, tuple):
+            item, explicit = item
+        expr, suggested = to_expression(item)
+        jobs.append(CompilationJob(expr=expr, name=explicit or suggested or f"circuit_{index}"))
+    service = make_service(
+        compiler, workers=workers, cache=cache, cache_dir=cache_dir, **options
+    )
+    return service.compile_batch(jobs)
+
+
+@dataclass
+class RunOutcome:
+    """Compile + execute + verify, bundled."""
+
+    report: CompilationReport
+    execution: ExecutionReport
+    inputs: Dict[str, int]
+    reference: List[int]
+    outputs: List[int]
+
+    @property
+    def correct(self) -> bool:
+        """True when the decrypted outputs match the plaintext reference."""
+        return self.outputs == self.reference
+
+
+def _sample_inputs(expr: Expr, seed: int, input_range: int = 7) -> Dict[str, int]:
+    rng = np.random.default_rng(seed)
+    return {name: int(rng.integers(0, input_range + 1)) for name in variables(expr)}
+
+
+def execute(
+    source: Union[Source, CompilationReport],
+    inputs: Optional[Mapping[str, int]] = None,
+    compiler: Union[str, CompilerSpec, object, None] = None,
+    *,
+    seed: int = 0,
+    name: Optional[str] = None,
+    workers: int = 1,
+    cache: Optional[CompilationCache] = None,
+    cache_dir: Optional[str] = None,
+    **options: object,
+) -> RunOutcome:
+    """Compile (unless given a report) and run on the simulated BFV backend.
+
+    Missing ``inputs`` are drawn deterministically from ``seed``.  The
+    decrypted outputs are always verified against the plaintext reference
+    (see :attr:`RunOutcome.correct`).
+    """
+    if isinstance(source, CompilationReport):
+        report = source
+    else:
+        report = compile(
+            source,
+            compiler,
+            name=name,
+            workers=workers,
+            cache=cache,
+            cache_dir=cache_dir,
+            **options,
+        )
+    expr = report.source_expr
+    if inputs is None:
+        inputs = _sample_inputs(expr, seed=seed)
+    inputs = {key: int(value) for key, value in inputs.items()}
+    execution = execute_circuit(report.circuit, inputs)
+    from repro.ir.evaluate import output_arity
+
+    reference = reference_output(expr, inputs, slot_count=max(64, output_arity(expr) + 8))
+    outputs = declared_outputs(report.circuit, execution.outputs)
+    return RunOutcome(
+        report=report,
+        execution=execution,
+        inputs=inputs,
+        reference=reference,
+        outputs=outputs,
+    )
+
+
+def list_compilers() -> List[Dict[str, str]]:
+    """Every registered compiler: name, description and paper configuration."""
+    rows = []
+    for compiler_name in available_compilers():
+        info = compiler_info(compiler_name)
+        rows.append(
+            {
+                "name": info.name,
+                "description": info.description,
+                "paper_config": info.paper_config,
+            }
+        )
+    return rows
+
+
+def describe_compiler(compiler_name: str, **options: object) -> str:
+    """The canonical, version-stamped cache identity of a configuration."""
+    return CompilerSpec.create(compiler_name, **options).describe()

@@ -24,19 +24,24 @@ much larger compilation times on big kernels.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.compiler.circuit import CircuitProgram, InputSlot, Opcode
+from repro.compiler.framework import (
+    PassPipeline,
+    PipelineState,
+    circuit_stage,
+    expr_stage,
+)
 from repro.compiler.passes import constant_fold, dead_code_eliminate
 from repro.compiler.pipeline import CompilationReport
+from repro.compiler.registry import register_compiler
 from repro.core.cost import CostModel
 from repro.core.exceptions import CompilationError
 from repro.ir.dag import Dag, build_dag
-from repro.ir.evaluate import output_arity
 from repro.ir.nodes import Const, Expr, Var, Vec
 
 __all__ = ["CoyoteOptions", "CoyoteCompiler"]
@@ -71,34 +76,33 @@ class _Placement:
     lane: int
 
 
-class CoyoteCompiler:
-    """SLP-style vectorizer with post-packing layout resolution."""
+@dataclass(frozen=True)
+class _VectorizeSearchStage:
+    """Coyote's layout search: plan candidate layouts, keep the cheapest."""
 
-    def __init__(self, options: Optional[CoyoteOptions] = None) -> None:
-        self.options = options if options is not None else CoyoteOptions()
-        self.cost_model = CostModel()
+    compiler: "CoyoteCompiler"
+    name: str = "vectorize-search"
+    kind: str = "circuit"
 
-    # -- public API -----------------------------------------------------------------
-    def compile_expression(self, expr: Expr, name: str = "circuit") -> CompilationReport:
-        """Compile ``expr`` and return the same report type as the Compiler."""
-        start = time.perf_counter()
-        folded = constant_fold(expr)
+    def run(self, state: PipelineState) -> None:
+        compiler = self.compiler
+        folded = state.expr
         outputs = list(folded.elements) if isinstance(folded, Vec) else [folded]
 
         # Outer layout search: score several candidate input-data layouts by
         # fully planning the vectorized circuit for each and keeping the one
         # with the lowest estimated cost (rotations + masks dominate).
-        rng = np.random.default_rng(self.options.seed)
+        rng = np.random.default_rng(compiler.options.seed)
         leaf_count = sum(
             1 for node in build_dag(outputs[0] if len(outputs) == 1 else Vec(*outputs)).nodes
             if isinstance(node.expr, (Var, Const))
         )
-        candidates = max(1, min(self.options.layout_candidates, max(1, leaf_count)))
+        candidates = max(1, min(compiler.options.layout_candidates, max(1, leaf_count)))
         best_program: Optional[CircuitProgram] = None
         best_score = float("inf")
         for candidate in range(candidates):
             permute = candidate > 0
-            program = self._vectorize(outputs, name, rng=rng, permute_leaves=permute)
+            program = compiler._vectorize(outputs, state.name, rng=rng, permute_leaves=permute)
             program = dead_code_eliminate(program)
             stats = program.stats()
             score = (
@@ -111,21 +115,35 @@ class CoyoteCompiler:
                 best_score = score
                 best_program = program
         assert best_program is not None
-        program = best_program
-        elapsed = time.perf_counter() - start
-        initial_cost = self.cost_model.cost(folded)
-        return CompilationReport(
-            name=name,
-            source_expr=expr,
-            optimized_expr=folded,
-            circuit=program,
-            stats=program.stats(),
-            compile_time_s=elapsed,
-            rewrite_steps=[],
-            initial_cost=initial_cost,
-            final_cost=initial_cost,
-            rotation_key_plan=None,
+        state.circuit = best_program
+        # Coyote does no expression-level rewriting: the analytical cost of
+        # the folded expression is both the initial and the final cost.
+        state.initial_cost = state.final_cost = compiler.cost_model.cost(folded)
+
+
+class CoyoteCompiler:
+    """SLP-style vectorizer with post-packing layout resolution."""
+
+    def __init__(self, options: Optional[CoyoteOptions] = None) -> None:
+        self.options = options if options is not None else CoyoteOptions()
+        self.cost_model = CostModel()
+
+    @property
+    def pipeline(self) -> PassPipeline:
+        """The stage sequence this compiler runs (uniform with `Compiler`)."""
+        return PassPipeline(
+            [
+                expr_stage("constant-fold", lambda expr, state: constant_fold(expr)),
+                _VectorizeSearchStage(self),
+                circuit_stage("dce", lambda circuit, state: dead_code_eliminate(circuit)),
+            ],
+            cost_model=self.cost_model,
         )
+
+    # -- public API -----------------------------------------------------------------
+    def compile_expression(self, expr: Expr, name: str = "circuit") -> CompilationReport:
+        """Compile ``expr`` and return the same report type as the Compiler."""
+        return self.pipeline.compile(expr, name=name)
 
     # -- core algorithm -------------------------------------------------------------------
     def _vectorize(
@@ -301,3 +319,13 @@ class CoyoteCompiler:
                 shift = placement.lane - assignment[node_id]
                 distinct.add((placement.register, shift))
         return float(len(distinct))
+
+
+@register_compiler(
+    "coyote",
+    normalize=lambda **options: CoyoteOptions(**options),
+    description="Coyote-style SLP vectorizer (lane-assignment + layout search)",
+    paper_config="Coyote baseline (Figs. 5-7; Table 6 'Coyote' column)",
+)
+def _build_coyote(**options: object) -> CoyoteCompiler:
+    return CoyoteCompiler(CoyoteOptions(**options))

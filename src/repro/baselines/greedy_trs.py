@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.compiler.framework import PassPipeline
 from repro.compiler.pipeline import CompilationReport, Compiler, CompilerOptions
+from repro.compiler.registry import register_compiler
 from repro.core.cost import CostModel
 from repro.ir.nodes import Expr
 
@@ -36,5 +38,40 @@ class GreedyChehabCompiler:
             )
         )
 
+    @property
+    def pipeline(self) -> PassPipeline:
+        return self._compiler.pipeline
+
     def compile_expression(self, expr: Expr, name: str = "circuit") -> CompilationReport:
         return self._compiler.compile_expression(expr, name=name)
+
+
+def _normalize_greedy(
+    cost_model: Optional[CostModel] = None,
+    layout_before_encryption: bool = True,
+    max_rewrite_steps: int = 75,
+) -> CompilerOptions:
+    return CompilerOptions(
+        optimizer="greedy",
+        cost_model=cost_model if cost_model is not None else CostModel(),
+        layout_before_encryption=layout_before_encryption,
+        max_rewrite_steps=max_rewrite_steps,
+    )
+
+
+@register_compiler(
+    "greedy",
+    normalize=_normalize_greedy,
+    description="Original CHEHAB: greedy best-improvement TRS + classic passes",
+    paper_config="'CHEHAB' greedy baseline (Fig. 12 ablation)",
+)
+def _build_greedy(
+    cost_model: Optional[CostModel] = None,
+    layout_before_encryption: bool = True,
+    max_rewrite_steps: int = 75,
+) -> GreedyChehabCompiler:
+    return GreedyChehabCompiler(
+        cost_model=cost_model,
+        layout_before_encryption=layout_before_encryption,
+        max_rewrite_steps=max_rewrite_steps,
+    )

@@ -8,7 +8,9 @@ the comparison.
 
 from __future__ import annotations
 
+from repro.compiler.framework import PassPipeline
 from repro.compiler.pipeline import CompilationReport, Compiler, CompilerOptions
+from repro.compiler.registry import register_compiler
 from repro.ir.nodes import Expr
 
 __all__ = ["ScalarCompiler"]
@@ -25,5 +27,21 @@ class ScalarCompiler:
             )
         )
 
+    @property
+    def pipeline(self) -> PassPipeline:
+        return self._compiler.pipeline
+
     def compile_expression(self, expr: Expr, name: str = "circuit") -> CompilationReport:
         return self._compiler.compile_expression(expr, name=name)
+
+
+@register_compiler(
+    "initial",
+    normalize=lambda layout_before_encryption=True: CompilerOptions(
+        optimizer="none", layout_before_encryption=layout_before_encryption
+    ),
+    description="Naive scalar lowering, no vectorization or rewriting",
+    paper_config="'Initial' column of Table 6 (common starting point)",
+)
+def _build_initial(layout_before_encryption: bool = True) -> ScalarCompiler:
+    return ScalarCompiler(layout_before_encryption=layout_before_encryption)

@@ -16,15 +16,53 @@ Pipeline stages (paper Sec. 4):
    the executor (:mod:`repro.compiler.executor`) runs the circuit on the
    simulated BFV backend, reporting latency, operation counts and consumed
    noise budget.
+
+Stages are expressed on the pass framework (:mod:`repro.compiler.framework`):
+every compiler is a :class:`PassPipeline` of named stages, and every
+:class:`CompilationReport` carries a :class:`PipelineTrace` with per-stage
+wall-clock times and cost snapshots.  The registry
+(:mod:`repro.compiler.registry`) names the configurations of the paper's
+comparison (``initial`` / ``coyote`` / ``greedy`` / ``beam`` / ``chehab-rl``)
+and renders canonical, cache-stable :class:`CompilerSpec` descriptions.
 """
 
 from repro.compiler.circuit import CircuitProgram, CircuitStats, Instruction, Opcode
 from repro.compiler.dsl import Ciphertext, Plaintext, Program
+from repro.compiler.framework import (
+    CircuitPass,
+    ExprPass,
+    PassPipeline,
+    PipelineState,
+    PipelineTrace,
+    Stage,
+    StageTrace,
+    circuit_stage,
+    expr_stage,
+)
 from repro.compiler.lowering import LoweringOptions, lower
 from repro.compiler.passes import constant_fold, dead_code_eliminate, simplify_pipeline
-from repro.compiler.executor import ExecutionReport, execute, reference_output
+from repro.compiler.executor import (
+    ExecutionReport,
+    declared_outputs,
+    execute,
+    reference_output,
+)
 from repro.compiler.codegen import generate_seal_code
-from repro.compiler.pipeline import CompilationReport, Compiler, CompilerOptions
+from repro.compiler.pipeline import (
+    CompilationReport,
+    Compiler,
+    CompilerOptions,
+    default_pipeline,
+)
+from repro.compiler.registry import (
+    CompilerInfo,
+    CompilerSpec,
+    available_compilers,
+    build_compiler,
+    compiler_info,
+    register_compiler,
+    resolve_compiler,
+)
 
 __all__ = [
     "Ciphertext",
@@ -42,8 +80,26 @@ __all__ = [
     "ExecutionReport",
     "execute",
     "reference_output",
+    "declared_outputs",
     "generate_seal_code",
     "Compiler",
     "CompilerOptions",
     "CompilationReport",
+    "default_pipeline",
+    "PassPipeline",
+    "PipelineState",
+    "PipelineTrace",
+    "StageTrace",
+    "Stage",
+    "ExprPass",
+    "CircuitPass",
+    "expr_stage",
+    "circuit_stage",
+    "CompilerInfo",
+    "CompilerSpec",
+    "register_compiler",
+    "available_compilers",
+    "build_compiler",
+    "compiler_info",
+    "resolve_compiler",
 ]

@@ -1,0 +1,47 @@
+"""Registry entries for the pipeline-based compiler configurations.
+
+The baseline compilers register themselves in :mod:`repro.baselines`; this
+module adds the configurations that are plain :class:`Compiler` pipelines —
+the beam-search TRS variant and the paper's headline CHEHAB RL configuration
+(a trained agent plugged in as the optimizer).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.pipeline import Compiler, CompilerOptions
+from repro.compiler.registry import register_compiler
+
+
+@register_compiler(
+    "beam",
+    normalize=lambda **options: CompilerOptions(optimizer="beam", **options),
+    description="CHEHAB pipeline with the beam-search TRS driver",
+    paper_config="beam-search variant of the original CHEHAB rewriter (Sec. 5.1)",
+)
+def _build_beam(**options: object) -> Compiler:
+    return Compiler(CompilerOptions(optimizer="beam", **options))
+
+
+@register_compiler(
+    "chehab-rl",
+    description="CHEHAB pipeline driven by the PPO-trained hierarchical policy",
+    paper_config="CHEHAB RL (Figs. 5-7, 12; Table 6 'CHEHAB RL' columns)",
+)
+def _build_chehab_rl(
+    agent: Optional[object] = None,
+    train_timesteps: int = 512,
+    dataset_size: int = 64,
+    seed: int = 0,
+    layout_before_encryption: bool = True,
+) -> Compiler:
+    from repro.experiments.harness import make_agent_compiler, make_default_agent
+
+    if agent is None:
+        agent = make_default_agent(
+            train_timesteps=int(train_timesteps),
+            dataset_size=int(dataset_size),
+            seed=int(seed),
+        )
+    return make_agent_compiler(agent, layout_before_encryption=layout_before_encryption)

@@ -32,9 +32,25 @@ from repro.fhe.params import BFVParameters
 from repro.ir.evaluate import evaluate
 from repro.ir.nodes import Expr
 
-__all__ = ["ExecutionReport", "execute", "reference_output"]
+__all__ = ["ExecutionReport", "execute", "reference_output", "declared_outputs"]
 
 Value = Union[int, Sequence[int]]
+
+
+def declared_outputs(
+    program: CircuitProgram, outputs: Mapping[str, Sequence[int]]
+) -> List[int]:
+    """Concatenate execution ``outputs`` in the circuit's declaration order.
+
+    Multi-output circuits must be verified on the concatenation of the
+    outputs the circuit itself declares — not on whatever single entry dict
+    iteration happens to yield first.  Shared by the experiment harness and
+    the :mod:`repro.api` facade so the verification path cannot drift.
+    """
+    collected: List[int] = []
+    for _, name, _ in program.outputs:
+        collected.extend(outputs.get(name, []))
+    return collected
 
 
 @dataclass

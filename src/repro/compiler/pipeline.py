@@ -1,33 +1,47 @@
 """End-to-end compilation pipeline (the CHEHAB driver).
 
-:class:`Compiler` wires the stages together: expression-level classic passes,
-the TRS optimizer (any object exposing ``optimize(expr) -> RewriteResult``,
-i.e. the trained RL agent, the greedy/beam baselines or ``None`` for the
-unoptimized "Initial" configuration of Table 6), lowering, circuit-level dead
-code elimination and rotation-key selection.  The returned
-:class:`CompilationReport` carries everything the experiment harness needs:
-the optimized expression, the lowered circuit, its static statistics, the
-measured compilation time and the rotation-key plan.
+:class:`Compiler` wires the stages together as a declarative
+:class:`~repro.compiler.framework.PassPipeline`:
+
+1. ``constant-fold`` — expression-level classic passes;
+2. ``optimize`` — the TRS optimizer (any object exposing
+   ``optimize(expr) -> RewriteResult``, i.e. the trained RL agent, the
+   greedy/beam baselines or ``None`` for the unoptimized "Initial"
+   configuration of Table 6);
+3. ``lower`` — layout assignment and lowering to ciphertext instructions;
+4. ``dce`` — circuit-level dead code elimination;
+5. ``rotation-keys`` — rotation-key selection (Appendix B).
+
+The returned :class:`CompilationReport` carries everything the experiment
+harness needs — the optimized expression, the lowered circuit, its static
+statistics, the measured compilation time, the rotation-key plan — plus the
+:class:`~repro.compiler.framework.PipelineTrace` with per-stage wall-clock
+times and cost snapshots.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 from repro.core.cost import CostModel
-from repro.compiler.circuit import CircuitProgram, CircuitStats
-from repro.compiler.codegen import generate_seal_code
+from repro.compiler.framework import (
+    CompilationReport,
+    PassPipeline,
+    PipelineState,
+    Stage,
+    circuit_stage,
+    expr_stage,
+)
 from repro.compiler.dsl import Program
 from repro.compiler.lowering import LoweringOptions, lower
 from repro.compiler.passes import constant_fold, dead_code_eliminate
 from repro.fhe.params import BFVParameters
-from repro.fhe.rotation_keys import RotationKeyPlan, select_rotation_keys
+from repro.fhe.rotation_keys import select_rotation_keys
 from repro.ir.nodes import Expr
 from repro.trs.rewriter import GreedyRewriter, BeamSearchRewriter, RewriteResult, RewriteStep
 
-__all__ = ["CompilerOptions", "CompilationReport", "Compiler"]
+__all__ = ["CompilerOptions", "CompilationReport", "Compiler", "default_pipeline"]
 
 
 @dataclass
@@ -54,59 +68,121 @@ class CompilerOptions:
     max_rewrite_steps: int = 75
 
 
-@dataclass
-class CompilationReport:
-    """Everything produced by one compilation."""
+def _resolve_optimizer(options: CompilerOptions):
+    optimizer = options.optimizer
+    if optimizer is None or optimizer == "none":
+        return None
+    if isinstance(optimizer, str):
+        if optimizer == "greedy":
+            return GreedyRewriter(
+                cost_model=options.cost_model,
+                max_steps=options.max_rewrite_steps,
+            )
+        if optimizer == "beam":
+            return BeamSearchRewriter(
+                cost_model=options.cost_model,
+                max_steps=min(options.max_rewrite_steps, 20),
+            )
+        raise ValueError(f"unknown optimizer {optimizer!r}")
+    if not hasattr(optimizer, "optimize"):
+        raise TypeError("optimizer must expose an optimize(expr) method")
+    return optimizer
 
-    name: str
-    source_expr: Expr
-    optimized_expr: Expr
-    circuit: CircuitProgram
-    stats: CircuitStats
-    compile_time_s: float
-    rewrite_steps: List[RewriteStep] = field(default_factory=list)
-    initial_cost: float = 0.0
-    final_cost: float = 0.0
-    rotation_key_plan: Optional[RotationKeyPlan] = None
 
-    @property
-    def cost_improvement(self) -> float:
-        """Fractional reduction of the analytical cost achieved by rewriting."""
-        if self.initial_cost <= 0:
-            return 0.0
-        return max(0.0, (self.initial_cost - self.final_cost) / self.initial_cost)
+@dataclass(frozen=True)
+class _OptimizeStage:
+    """TRS optimization: records costs and the applied rewrite sequence."""
 
-    def seal_code(self) -> str:
-        """SEAL-style C++ for the compiled circuit."""
-        return generate_seal_code(self.circuit)
+    options: CompilerOptions
+    name: str = "optimize"
+    kind: str = "expr"
+
+    def run(self, state: PipelineState) -> None:
+        from repro.ir.evaluate import output_arity
+
+        cost_model = self.options.cost_model
+        # The output arity of the folded-but-unoptimized expression drives
+        # lowering; rewriting must not change what the program computes.
+        state.metadata["output_arity"] = output_arity(state.expr)
+        state.initial_cost = cost_model.cost(state.expr)
+        optimizer = _resolve_optimizer(self.options)
+        if optimizer is None:
+            state.final_cost = state.initial_cost
+            return
+        result: RewriteResult = optimizer.optimize(state.expr)
+        state.expr = constant_fold(result.optimized)
+        state.rewrite_steps = list(result.steps)
+        state.final_cost = cost_model.cost(state.expr)
+
+
+@dataclass(frozen=True)
+class _LowerStage:
+    """Lower the optimized expression to a ciphertext circuit."""
+
+    options: CompilerOptions
+    name: str = "lower"
+    kind: str = "circuit"
+
+    def run(self, state: PipelineState) -> None:
+        from repro.ir.evaluate import output_arity
+
+        lowering_options = LoweringOptions(
+            layout_before_encryption=self.options.layout_before_encryption
+        )
+        length = state.metadata.get("output_arity")
+        if length is None:
+            length = output_arity(state.expr)
+        state.circuit = lower(
+            state.expr,
+            name=state.name,
+            options=lowering_options,
+            output_length=int(length),
+        )
+
+
+@dataclass(frozen=True)
+class _RotationKeyStage:
+    """Select the Galois keys to generate for the circuit's rotations."""
+
+    options: CompilerOptions
+    name: str = "rotation-keys"
+    kind: str = "circuit"
+
+    def run(self, state: PipelineState) -> None:
+        if not self.options.select_rotation_keys:
+            return
+        if state.circuit is None or not state.circuit.rotation_steps:
+            return
+        state.rotation_key_plan = select_rotation_keys(
+            state.circuit.rotation_steps,
+            slot_count=self.options.params.slot_count,
+            beta=self.options.rotation_key_budget,
+        )
+
+
+def default_pipeline(options: Optional[CompilerOptions] = None) -> PassPipeline:
+    """The declarative CHEHAB stage sequence for ``options``."""
+    options = options if options is not None else CompilerOptions()
+    stages: List[Stage] = [
+        expr_stage("constant-fold", lambda expr, state: constant_fold(expr)),
+        _OptimizeStage(options),
+        _LowerStage(options),
+        circuit_stage("dce", lambda circuit, state: dead_code_eliminate(circuit)),
+        _RotationKeyStage(options),
+    ]
+    return PassPipeline(stages, cost_model=options.cost_model)
 
 
 class Compiler:
-    """The CHEHAB compiler driver."""
+    """The CHEHAB compiler driver (a declarative default pipeline)."""
 
     def __init__(self, options: Optional[CompilerOptions] = None) -> None:
         self.options = options if options is not None else CompilerOptions()
 
-    # -- optimizer resolution --------------------------------------------------------
-    def _resolve_optimizer(self):
-        optimizer = self.options.optimizer
-        if optimizer is None or optimizer == "none":
-            return None
-        if isinstance(optimizer, str):
-            if optimizer == "greedy":
-                return GreedyRewriter(
-                    cost_model=self.options.cost_model,
-                    max_steps=self.options.max_rewrite_steps,
-                )
-            if optimizer == "beam":
-                return BeamSearchRewriter(
-                    cost_model=self.options.cost_model,
-                    max_steps=min(self.options.max_rewrite_steps, 20),
-                )
-            raise ValueError(f"unknown optimizer {optimizer!r}")
-        if not hasattr(optimizer, "optimize"):
-            raise TypeError("optimizer must expose an optimize(expr) method")
-        return optimizer
+    @property
+    def pipeline(self) -> PassPipeline:
+        """The stage sequence this compiler runs."""
+        return default_pipeline(self.options)
 
     # -- entry points --------------------------------------------------------------------
     def compile_program(self, program: Program) -> CompilationReport:
@@ -115,54 +191,4 @@ class Compiler:
 
     def compile_expression(self, expr: Expr, name: str = "circuit") -> CompilationReport:
         """Compile a single IR expression."""
-        start = time.perf_counter()
-        cost_model = self.options.cost_model
-
-        folded = constant_fold(expr)
-        initial_cost = cost_model.cost(folded)
-
-        optimizer = self._resolve_optimizer()
-        if optimizer is None:
-            optimized = folded
-            steps: List[RewriteStep] = []
-            final_cost = initial_cost
-        else:
-            result: RewriteResult = optimizer.optimize(folded)
-            optimized = constant_fold(result.optimized)
-            steps = list(result.steps)
-            final_cost = cost_model.cost(optimized)
-
-        lowering_options = LoweringOptions(
-            layout_before_encryption=self.options.layout_before_encryption
-        )
-        from repro.ir.evaluate import output_arity
-
-        circuit = lower(
-            optimized,
-            name=name,
-            options=lowering_options,
-            output_length=output_arity(folded),
-        )
-        circuit = dead_code_eliminate(circuit)
-
-        rotation_plan: Optional[RotationKeyPlan] = None
-        if self.options.select_rotation_keys and circuit.rotation_steps:
-            rotation_plan = select_rotation_keys(
-                circuit.rotation_steps,
-                slot_count=self.options.params.slot_count,
-                beta=self.options.rotation_key_budget,
-            )
-
-        elapsed = time.perf_counter() - start
-        return CompilationReport(
-            name=name,
-            source_expr=expr,
-            optimized_expr=optimized,
-            circuit=circuit,
-            stats=circuit.stats(),
-            compile_time_s=elapsed,
-            rewrite_steps=steps,
-            initial_cost=initial_cost,
-            final_cost=final_cost,
-            rotation_key_plan=rotation_plan,
-        )
+        return self.pipeline.compile(expr, name=name)

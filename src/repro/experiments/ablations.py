@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.greedy_trs import GreedyChehabCompiler
+from repro.compiler.registry import CompilerSpec
 from repro.core.cost import CostModel, CostWeights
 from repro.datagen import RandomExpressionGenerator, SyntheticKernelGenerator, build_dataset
 from repro.experiments.harness import (
@@ -100,7 +100,7 @@ def run_reward_weight_ablation(
     compilers = {}
     for weights in weight_configs:
         model = CostModel(weights=CostWeights(ops=weights[0], depth=weights[1], mult_depth=weights[2]))
-        compilers[str(tuple(weights))] = GreedyChehabCompiler(cost_model=model)
+        compilers[str(tuple(weights))] = CompilerSpec.create("greedy", cost_model=model)
     runner = BenchmarkRunner(compilers, input_seed=input_seed, workers=workers, cache=cache)
     results = runner.run(benchmarks)
 
@@ -333,7 +333,7 @@ def run_greedy_comparison(
     runner = BenchmarkRunner(
         {
             "CHEHAB RL": make_agent_compiler(agent),
-            "CHEHAB": GreedyChehabCompiler(),
+            "CHEHAB": "greedy",
         },
         input_seed=input_seed,
         workers=workers,

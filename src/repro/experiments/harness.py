@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-from repro.compiler.executor import ExecutionReport, execute
+from repro.compiler.executor import ExecutionReport, declared_outputs, execute
 from repro.compiler.pipeline import CompilationReport, Compiler, CompilerOptions
 from repro.kernels.registry import Benchmark
 from repro.rl.agent import ChehabAgent
@@ -88,15 +88,25 @@ class BenchmarkRunner:
         cache: Optional[CompilationCache] = None,
         cache_dir: Optional[str] = None,
     ) -> None:
-        """``compilers`` maps a label to an object with ``compile_expression``."""
+        """``compilers`` maps a label to a compiler.
+
+        Each value may be a live object with ``compile_expression``, a
+        registry name (``"coyote"``) or a
+        :class:`~repro.compiler.registry.CompilerSpec`; names and specs are
+        resolved through the compiler registry and get cache keys that are
+        stable across processes.
+        """
         if not compilers:
             raise ValueError("BenchmarkRunner needs at least one compiler")
-        self.compilers = dict(compilers)
         self.input_seed = input_seed
         self.cache = cache if cache is not None else CompilationCache(directory=cache_dir)
         self.services: Dict[str, CompilationService] = {
             label: CompilationService(compiler, workers=workers, cache=self.cache)
-            for label, compiler in self.compilers.items()
+            for label, compiler in compilers.items()
+        }
+        #: Resolved compiler objects by label (names/specs already built).
+        self.compilers: Dict[str, object] = {
+            label: service.compiler for label, service in self.services.items()
         }
         #: Per-label batch accounting of the most recent :meth:`run` call.
         self.last_batch_reports: Dict[str, BatchReport] = {}
@@ -110,13 +120,7 @@ class BenchmarkRunner:
         inputs: Mapping[str, int],
     ) -> BenchmarkResult:
         execution: ExecutionReport = execute(report.circuit, inputs)
-        # Read the outputs the circuit itself declares, in declaration order;
-        # multi-output circuits are verified on the concatenation instead of
-        # whatever single entry dict iteration happens to yield first.
-        declared = [name for _, name, _ in report.circuit.outputs]
-        output: List[int] = []
-        for name in declared:
-            output.extend(execution.outputs.get(name, []))
+        output = declared_outputs(report.circuit, execution.outputs)
         correct = list(output) == list(reference)
         stats = report.stats
         return BenchmarkResult(
@@ -139,22 +143,21 @@ class BenchmarkRunner:
         )
 
     def run_benchmark(self, benchmark: Benchmark) -> List[BenchmarkResult]:
-        """Run every configured compiler on one benchmark."""
-        results: List[BenchmarkResult] = []
-        expr = benchmark.expression()
-        inputs = benchmark.sample_inputs(seed=self.input_seed)
-        reference = benchmark.reference(inputs)
-        for label, service in self.services.items():
-            report = service.compile_expression(expr, name=benchmark.name)
-            results.append(self._make_result(benchmark, label, report, reference, inputs))
-        return results
+        """Run every configured compiler on one benchmark.
+
+        This is the single-kernel entry point of :meth:`run`: the same
+        compile-batch / execute / verify path, on a one-element suite.
+        """
+        return self.run([benchmark])
 
     def run(self, benchmarks: Iterable[Benchmark]) -> List[BenchmarkResult]:
         """Run every compiler on every benchmark.
 
         The compile phase is batched per compiler through the service (one
         cost-balanced fan-out per label); execution and verification stay
-        serial because the FHE simulator dominates neither phase.
+        serial because the FHE simulator dominates neither phase.  Sample
+        inputs and the plaintext reference are computed once per benchmark
+        and shared across every compiler's result.
         """
         suite = list(benchmarks)
         jobs = [CompilationJob(expr=b.expression(), name=b.name) for b in suite]

@@ -14,8 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.coyote import CoyoteCompiler
-from repro.baselines.scalar import ScalarCompiler
+from repro.compiler.registry import CompilerSpec
 from repro.experiments.harness import (
     BenchmarkResult,
     BenchmarkRunner,
@@ -45,10 +44,12 @@ def run_table6(
     """Collect the Table 6 rows for every benchmark and configuration."""
     benchmarks = list(benchmarks) if benchmarks is not None else small_benchmark_suite()
     agent = make_default_agent(train_timesteps=train_timesteps)
+    # Registry specs for the deterministic columns; the two RL columns wrap
+    # the live trained agent (not spec-serializable).
     compilers: Dict[str, object] = {
-        "Initial": ScalarCompiler(),
+        "Initial": CompilerSpec.create("initial"),
         "CHEHAB RL": make_agent_compiler(agent, layout_before_encryption=True),
-        "Coyote": CoyoteCompiler(),
+        "Coyote": CompilerSpec.create("coyote"),
         "CHEHAB RL (layout after encryption)": make_agent_compiler(
             agent, layout_before_encryption=False
         ),

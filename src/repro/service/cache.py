@@ -17,22 +17,25 @@ arbitrary optimizer object without a ``cache_token``) get a per-instance
 fingerprint: they still enjoy in-memory hits for repeated expressions within
 one process, but their entries are marked *unstable* and are never persisted
 to the disk tier, where they could poison later runs.
+
+The fingerprint machinery itself lives in :mod:`repro.compiler.registry`
+(where a :class:`~repro.compiler.registry.CompilerSpec`'s ``describe()``
+string doubles as the fingerprint of every registered compiler);
+:func:`compiler_fingerprint` is re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
-import itertools
 import os
 import pickle
 import tempfile
-import weakref
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional
 
-from repro.compiler.pipeline import CompilationReport, Compiler, CompilerOptions
+from repro.compiler.pipeline import CompilationReport
+from repro.compiler.registry import compiler_fingerprint
 from repro.ir.nodes import Expr
 from repro.ir.printer import to_sexpr
 
@@ -42,86 +45,6 @@ __all__ = [
     "compiler_fingerprint",
     "cache_key",
 ]
-
-
-# ---------------------------------------------------------------------------
-# fingerprints and keys
-# ---------------------------------------------------------------------------
-def _render(value: object) -> str:
-    """Canonical textual rendering of a configuration value."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        fields = sorted(
-            (f.name, _render(getattr(value, f.name))) for f in dataclasses.fields(value)
-        )
-        inner = ",".join(f"{name}={rendered}" for name, rendered in fields)
-        return f"{type(value).__name__}({inner})"
-    if isinstance(value, (list, tuple)):
-        return "[" + ",".join(_render(item) for item in value) + "]"
-    if isinstance(value, dict):
-        inner = ",".join(f"{k}={_render(v)}" for k, v in sorted(value.items()))
-        return "{" + inner + "}"
-    if isinstance(value, float):
-        return repr(value)
-    return repr(value)
-
-
-#: Monotonic per-instance tokens for objects without a canonical rendering.
-#: ``id()`` alone can be recycled after garbage collection, which would let
-#: a new optimizer silently hit a dead optimizer's cache entries.
-_instance_tokens = weakref.WeakKeyDictionary()
-_instance_counter = itertools.count(1)
-
-
-def _instance_token(obj: object) -> str:
-    try:
-        token = _instance_tokens.get(obj)
-        if token is None:
-            token = next(_instance_counter)
-            _instance_tokens[obj] = token
-    except TypeError:  # not weak-referenceable; id() is the best we have
-        return f"{id(obj):#x}"
-    return f"i{token}"
-
-
-def _optimizer_fingerprint(optimizer: object) -> Tuple[str, bool]:
-    """Fingerprint of the optimizer field; ``(text, stable)``."""
-    if optimizer is None or isinstance(optimizer, str):
-        return repr(optimizer), True
-    token = getattr(optimizer, "cache_token", None)
-    if callable(token):
-        token = token()
-    if token is not None:
-        return f"{type(optimizer).__name__}:{token}", True
-    # Arbitrary optimizer objects (e.g. a trained RL agent) have no canonical
-    # configuration rendering: fall back to a per-instance fingerprint that
-    # is valid only within this process.
-    return f"{type(optimizer).__name__}@{_instance_token(optimizer)}", False
-
-
-def compiler_fingerprint(compiler: object) -> Tuple[str, bool]:
-    """Canonical fingerprint of a compiler's configuration.
-
-    Returns ``(fingerprint, stable)``; ``stable`` is False when the
-    fingerprint is only meaningful within the current process (such entries
-    are kept out of the disk tier).
-    """
-    # Wrappers such as GreedyChehabCompiler delegate to an inner Compiler.
-    inner = getattr(compiler, "_compiler", None)
-    if isinstance(inner, Compiler):
-        return compiler_fingerprint(inner)
-    if isinstance(compiler, Compiler):
-        options = compiler.options
-        opt_text, stable = _optimizer_fingerprint(options.optimizer)
-        parts = [f"optimizer={opt_text}"]
-        for f in dataclasses.fields(CompilerOptions):
-            if f.name == "optimizer":
-                continue
-            parts.append(f"{f.name}={_render(getattr(options, f.name))}")
-        return f"Compiler({','.join(parts)})", stable
-    options = getattr(compiler, "options", None)
-    if dataclasses.is_dataclass(options) and not isinstance(options, type):
-        return f"{type(compiler).__name__}({_render(options)})", True
-    return f"{type(compiler).__name__}@{id(compiler):#x}", False
 
 
 def cache_key(expr: Expr, fingerprint: str) -> str:

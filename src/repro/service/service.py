@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.compiler.circuit import CircuitProgram
 from repro.compiler.pipeline import CompilationReport, Compiler, CompilerOptions
+from repro.compiler.registry import CompilerSpec, resolve_compiler
 from repro.core.cost import CostModel
 from repro.ir.nodes import Expr
 from repro.service.cache import CompilationCache, cache_key, compiler_fingerprint
@@ -136,7 +137,11 @@ class CompilationService:
     Parameters
     ----------
     compiler:
-        Any object with ``compile_expression(expr, name)``.  When None, a
+        Any object with ``compile_expression(expr, name)``, a registry name
+        (``"coyote"``), or a :class:`~repro.compiler.registry.CompilerSpec`.
+        Names and specs are resolved through the compiler registry and keyed
+        by their canonical ``describe()`` string, which makes their cache
+        entries stable across processes (disk-tier eligible).  When None, a
         pipeline :class:`Compiler` is built from ``options``.
     workers:
         Worker processes for :meth:`compile_batch`.  ``1`` (default) keeps
@@ -159,19 +164,30 @@ class CompilationService:
         cache_dir: Optional[str] = None,
         cost_model: Optional[CostModel] = None,
     ) -> None:
+        spec: Optional[CompilerSpec] = None
         if compiler is None:
             compiler = Compiler(options)
-        elif options is not None:
-            raise ValueError("pass either a compiler or options, not both")
+        else:
+            if options is not None:
+                raise ValueError("pass either a compiler or options, not both")
+            compiler, spec = resolve_compiler(compiler)
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if not hasattr(compiler, "compile_expression"):
             raise TypeError("compiler must expose compile_expression(expr, name)")
         self.compiler = compiler
+        self.spec = spec
         self.workers = workers
         self.cache = cache if cache is not None else CompilationCache(directory=cache_dir)
         self.cost_model = cost_model if cost_model is not None else self._discover_cost_model()
-        self._fingerprint, self._stable = compiler_fingerprint(compiler)
+        if spec is not None and spec.stable:
+            self._fingerprint, self._stable = spec.describe(), True
+        else:
+            # Covers both plain compiler objects and specs whose options hold
+            # live objects (e.g. a trained agent): compiler_fingerprint falls
+            # back to recycling-safe per-instance tokens and marks the
+            # entries memory-tier-only.
+            self._fingerprint, self._stable = compiler_fingerprint(compiler)
 
     def _discover_cost_model(self) -> CostModel:
         for holder in (self.compiler, getattr(self.compiler, "_compiler", None)):

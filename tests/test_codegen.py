@@ -1,0 +1,84 @@
+"""Golden-ish tests for the SEAL-style C++ code generator."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.compiler.circuit import CircuitProgram, InputSlot, Opcode
+from repro.compiler.codegen import generate_seal_code
+from repro.kernels.registry import benchmark_by_name
+
+
+@pytest.fixture()
+def golden_program() -> CircuitProgram:
+    """A small hand-built circuit exercising one opcode of every kind."""
+    program = CircuitProgram(name="golden kernel")
+    program.scalar_inputs = ["a", "b"]
+    packed = program.emit(
+        Opcode.LOAD_INPUT,
+        name="packed",
+        layout=(InputSlot(name="a"), InputSlot(name="b")),
+    )
+    rotated = program.emit(Opcode.ROTATE, (packed,), step=1)
+    added = program.emit(Opcode.ADD, (packed, rotated))
+    subtracted = program.emit(Opcode.SUB, (added, packed))
+    multiplied = program.emit(Opcode.MUL, (subtracted, packed))
+    negated = program.emit(Opcode.NEGATE, (multiplied,))
+    mask = program.emit(Opcode.LOAD_PLAIN, name="vector", values=(1, 0))
+    masked = program.emit(Opcode.MUL_PLAIN, (negated, mask))
+    broadcast = program.emit(Opcode.LOAD_PLAIN, name="broadcast", values=(3,))
+    shifted = program.emit(Opcode.ADD_PLAIN, (masked, broadcast))
+    program.mark_output(shifted, "result", 2)
+    program.mark_output(added, "partial", 2)
+    return program
+
+
+class TestGenerateSealCode:
+    def test_function_name_sanitized_from_program_name(self, golden_program):
+        code = generate_seal_code(golden_program)
+        assert "void golden_kernel(" in code
+
+    def test_every_declared_output_is_named(self, golden_program):
+        code = generate_seal_code(golden_program)
+        for _, output_name, _ in golden_program.outputs:
+            assert f'encrypted_outputs["{output_name}"]' in code
+
+    def test_one_opcode_of_each_kind_emitted(self, golden_program):
+        code = generate_seal_code(golden_program)
+        assert 'encrypted_inputs.at("packed")' in code
+        assert "evaluator.add(" in code
+        assert "evaluator.sub(" in code
+        assert "evaluator.multiply(" in code
+        assert "evaluator.negate(" in code
+        assert "evaluator.rotate_rows(" in code
+        assert "evaluator.multiply_plain(" in code
+        assert "evaluator.add_plain(" in code
+        # Every ct-ct multiplication is followed by relinearization.
+        assert "evaluator.relinearize_inplace(" in code
+
+    def test_plain_literals_render_masks_and_broadcasts(self, golden_program):
+        code = generate_seal_code(golden_program)
+        assert "vector<uint64_t>{1ULL, 0ULL}" in code
+        assert "vector<uint64_t>(encoder.slot_count(), 3ULL)" in code
+
+    def test_rotation_step_appears_with_galois_keys(self, golden_program):
+        code = generate_seal_code(golden_program)
+        rotate_line = next(line for line in code.splitlines() if "rotate_rows" in line)
+        assert ", 1, galois_keys" in rotate_line
+
+    def test_explicit_function_name_override(self, golden_program):
+        code = generate_seal_code(golden_program, function_name="custom_entry")
+        assert "void custom_entry(" in code
+
+    def test_compiled_kernel_names_all_outputs(self):
+        """End-to-end: a real compiled benchmark declares every output."""
+        report = repro.compile(
+            benchmark_by_name("dot_product_4").expression(),
+            compiler="greedy",
+            name="dot_product_4",
+        )
+        code = report.seal_code()
+        assert code.startswith("// Auto-generated")
+        for _, output_name, _ in report.circuit.outputs:
+            assert f'encrypted_outputs["{output_name}"]' in code
