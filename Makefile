@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test benchmarks smoke docs-check all
+.PHONY: test benchmarks smoke bench-smoke bench-backends docs-check all
 
 # Tier-1 test suite (tests/ + benchmarks/ collected from the repo root).
 test:
@@ -11,10 +11,20 @@ test:
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-# Fast CI smoke: tier-1 tests plus a 2-worker compilation-service run.
+# Fast CI smoke: tier-1 tests, a 2-worker compilation-service run and the
+# three-backend execution parity diff.
 smoke:
 	$(PYTHON) -m pytest tests -x -q
 	$(PYTHON) scripts/service_smoke.py --workers 2
+	$(PYTHON) scripts/backend_smoke.py
+
+# Fig. 5 execution-time series driven through the batched vector VM.
+bench-smoke:
+	REPRO_BACKEND=vector-vm $(PYTHON) -m pytest benchmarks/test_fig5_execution_time.py --benchmark-only -s
+
+# Backend throughput trajectory (rewrites BENCH_backends.json).
+bench-backends:
+	$(PYTHON) scripts/bench_backends.py --check
 
 # Fail when README / architecture code snippets no longer execute.
 docs-check:

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""CI smoke: run the same circuit on all three execution backends and diff.
+
+Compiles a handful of kernels, executes each on ``reference``, ``vector-vm``
+and ``cost-sim`` and checks the backend-parity invariants CI cares about:
+
+* vector-vm outputs are bit-identical to reference outputs (single and
+  batched execution);
+* all three backends report identical latency, operation counts and noise
+  accounting;
+* cost-sim produces accounting but no outputs.
+
+Exits non-zero (with a one-line reason) on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    )
+
+from repro.compiler import build_compiler, execute, execute_many
+from repro.fhe.params import BFVParameters
+from repro.kernels.registry import benchmark_by_name
+
+KERNELS = ("dot_product_8", "matrix_multiply_3x3", "box_blur_3x3", "sort_3")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", default="greedy")
+    parser.add_argument("--degree", type=int, default=4096)
+    parser.add_argument("--batch", type=int, default=8)
+    args = parser.parse_args()
+
+    params = BFVParameters.default(args.degree)
+    compiler = build_compiler(args.compiler)
+    for name in KERNELS:
+        benchmark = benchmark_by_name(name)
+        circuit = compiler.compile_expression(benchmark.expression(), name=name).circuit
+        inputs = [benchmark.sample_inputs(seed=seed) for seed in range(args.batch)]
+
+        reference = [execute(circuit, item, params=params, backend="reference") for item in inputs]
+        vm = execute_many(circuit, inputs, params=params, backend="vector-vm")
+        sim = execute(circuit, inputs[0], params=params, backend="cost-sim")
+
+        for index, (ref, batched) in enumerate(zip(reference, vm)):
+            if ref.outputs != batched.outputs:
+                print(
+                    f"FAIL: {name}[{index}] outputs differ: reference {ref.outputs} "
+                    f"vs vector-vm {batched.outputs}",
+                    file=sys.stderr,
+                )
+                return 1
+        head = reference[0]
+        for label, other in (("vector-vm", vm[0]), ("cost-sim", sim)):
+            for metric in (
+                "latency_ms",
+                "operation_counts",
+                "consumed_noise_budget",
+                "remaining_noise_budget",
+                "noise_budget_exhausted",
+                "encrypted_inputs",
+            ):
+                if getattr(head, metric) != getattr(other, metric):
+                    print(
+                        f"FAIL: {name} {label} {metric} diverges: "
+                        f"{getattr(head, metric)!r} vs {getattr(other, metric)!r}",
+                        file=sys.stderr,
+                    )
+                    return 1
+        if sim.outputs != {}:
+            print("FAIL: cost-sim produced outputs", file=sys.stderr)
+            return 1
+        print(
+            f"{name:20s} OK  ({args.batch} input sets, "
+            f"{head.latency_ms:.1f} ms simulated, "
+            f"{head.consumed_noise_budget:.1f} bits consumed)"
+        )
+    print("backend smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,15 +20,20 @@ The package is organised around the paper's system:
   kernels.
 * :mod:`repro.experiments` -- harnesses regenerating every table and figure
   of the paper's evaluation.
-* :mod:`repro.service` -- the parallel, cached compilation service: a
+* :mod:`repro.backends` -- pluggable execution backends: the SEAL-style
+  reference interpreter, a batched vector VM executing many input sets per
+  tape pass, and a no-crypto cost simulator, behind one registry.
+* :mod:`repro.service` -- the parallel, cached compilation service (a
   content-addressed compilation cache plus cost-aware parallel batch
-  compilation over any of the compilers above.
+  compilation) and the batched execution service with timer-augmented
+  scheduling.
 * :mod:`repro.api` -- the unified facade: ``repro.compile(source,
-  compiler="greedy")``, ``repro.execute(...)``, ``repro.list_compilers()``
-  (also exposed as the ``python -m repro`` CLI).
+  compiler="greedy")``, ``repro.execute(..., backend="vector-vm")``,
+  ``repro.execute_batch(...)``, ``repro.list_compilers()``,
+  ``repro.list_backends()`` (also exposed as the ``python -m repro`` CLI).
 """
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 #: Facade names re-exported lazily from :mod:`repro.api` so that
 #: ``import repro`` stays cheap and circular imports (the cache stamps
@@ -37,11 +42,15 @@ _API_EXPORTS = (
     "compile",
     "compile_batch",
     "execute",
+    "execute_batch",
     "list_compilers",
     "describe_compiler",
+    "list_backends",
+    "describe_backend",
     "make_service",
     "to_expression",
     "RunOutcome",
+    "BatchRunOutcome",
 )
 
 __all__ = ["__version__", *_API_EXPORTS]

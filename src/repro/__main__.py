@@ -4,14 +4,19 @@ Subcommands:
 
 * ``compile``  — compile one or more s-expression sources and print the
   circuit statistics and per-stage pipeline trace (optionally the SEAL C++);
-* ``run``      — compile, execute on the simulated BFV backend and verify
+* ``run``      — compile, execute on a simulated BFV backend and verify
   against the plaintext reference;
-* ``list-compilers`` — show every registered compiler configuration.
+* ``run-batch`` — compile once, execute a whole batch of input sets on a
+  backend (the vector VM serves the batch in one tape pass) and verify each;
+* ``list-compilers`` — show every registered compiler configuration;
+* ``list-backends``  — show every registered execution backend.
 
 Sources are s-expressions in the paper's textual IR, e.g.::
 
     python -m repro compile "(* (+ a b) (+ c d))" --compiler greedy
     python -m repro run "(+ (* a b) c)" --inputs a=2,b=3,c=4
+    python -m repro run "(+ (* a b) c)" --backend vector-vm
+    python -m repro run-batch "(* (+ a b) (+ c d))" --batch 32 --backend vector-vm
     python -m repro compile @kernel.sexp --compiler coyote --cache-dir .cache
     python -m repro list-compilers
 
@@ -145,9 +150,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--seed", type=int, default=0, help="seed for generated inputs")
     run_parser.add_argument("--name", default=None, help="circuit name")
+    run_parser.add_argument(
+        "--backend",
+        default=None,
+        help="execution backend (see list-backends; default: reference)",
+    )
     _add_common(run_parser)
 
+    batch_parser = subparsers.add_parser(
+        "run-batch", help="compile once, execute a batch of input sets and verify each"
+    )
+    batch_parser.add_argument("source", help="s-expression, @file, or - for stdin")
+    batch_parser.add_argument(
+        "--batch", type=int, default=8, help="input sets to execute (seeded)"
+    )
+    batch_parser.add_argument("--seed", type=int, default=0, help="base seed for generated inputs")
+    batch_parser.add_argument("--name", default=None, help="circuit name")
+    batch_parser.add_argument(
+        "--backend",
+        default="vector-vm",
+        help="execution backend (see list-backends; default: vector-vm)",
+    )
+    _add_common(batch_parser)
+
     subparsers.add_parser("list-compilers", help="show registered compiler configurations")
+    subparsers.add_parser("list-backends", help="show registered execution backends")
     return parser
 
 
@@ -161,6 +188,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{row['name']:<{width}}  {row['description']}")
             if row["paper_config"]:
                 print(f"{'':<{width}}  ({row['paper_config']})")
+        return 0
+
+    if args.command == "list-backends":
+        rows = api.list_backends()
+        width = max(len(row["name"]) for row in rows)
+        for row in rows:
+            print(f"{row['name']:<{width}}  {row['description']}")
+            if row["use_when"]:
+                print(f"{'':<{width}}  (use when: {row['use_when']})")
         return 0
 
     options = _parse_options(args.option)
@@ -195,6 +231,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             _read_source(args.source),
             _parse_inputs(args.inputs),
             args.compiler,
+            backend=args.backend,
             seed=args.seed,
             name=args.name,
             workers=args.workers,
@@ -202,13 +239,47 @@ def main(argv: Optional[List[str]] = None) -> int:
             **options,
         )
         _print_report(outcome.report, emit_seal=False)
+        print("  backend      :", outcome.backend)
         print("  inputs       :", json.dumps(outcome.inputs))
         print("  outputs      :", outcome.outputs)
         print("  reference    :", outcome.reference)
         print(f"  latency      : {outcome.execution.latency_ms:.2f} ms")
         print(f"  noise budget : {outcome.execution.consumed_noise_budget:.1f} bits consumed")
-        print("  verified     :", "OK" if outcome.correct else "MISMATCH")
+        if outcome.verified:
+            print("  verified     :", "OK" if outcome.correct else "MISMATCH")
+        else:
+            print("  verified     : skipped (backend produces no outputs)")
         return 0 if outcome.correct else 1
+
+    if args.command == "run-batch":
+        batch = api.execute_batch(
+            _read_source(args.source),
+            batch=args.batch,
+            backend=args.backend,
+            seed=args.seed,
+            name=args.name,
+            compiler=args.compiler,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            **options,
+        )
+        _print_report(batch.report, emit_seal=False)
+        correct = sum(
+            1 for out, ref in zip(batch.outputs, batch.references) if out == ref
+        )
+        print("  backend      :", batch.backend)
+        print(f"  batch size   : {batch.batch_size}")
+        print(f"  exec wall    : {batch.wall_time_s * 1000.0:.2f} ms "
+              f"({batch.throughput_per_s:.0f} input sets/s)")
+        if batch.executions:
+            execution = batch.executions[0]
+            print(f"  latency      : {execution.latency_ms:.2f} ms per input set (simulated)")
+            print(f"  noise budget : {execution.consumed_noise_budget:.1f} bits consumed")
+        if batch.verified:
+            print(f"  verified     : {correct}/{batch.batch_size} OK")
+        else:
+            print("  verified     : skipped (backend produces no outputs)")
+        return 0 if batch.all_correct else 1
 
     raise AssertionError(f"unhandled command {args.command!r}")
 

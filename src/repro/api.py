@@ -7,7 +7,9 @@ objects::
 
     report = repro.compile("(* (+ a b) (+ c d))", compiler="greedy")
     outcome = repro.execute("(* (+ a b) (+ c d))", {"a": 1, "b": 2, "c": 3, "d": 4})
+    batch = repro.execute_batch("(* (+ a b) (+ c d))", batch=32, backend="vector-vm")
     repro.list_compilers()
+    repro.list_backends()
 
 Sources may be s-expression strings (the paper's textual IR), parsed
 :class:`~repro.ir.nodes.Expr` trees, or staged DSL
@@ -17,22 +19,31 @@ registry name (with ``**options`` forwarded to the factory), by
 object.  Every compilation runs through the
 :class:`~repro.service.service.CompilationService`, so ``cache_dir`` gives
 cross-process disk caching and ``workers`` fans batches out over a
-cost-balanced process pool.  ``python -m repro`` exposes the same facade on
+cost-balanced process pool.  Execution runs on a named
+:class:`~repro.backends.base.ExecutionBackend` (``reference``,
+``vector-vm``, ``cost-sim``); ``python -m repro`` exposes the same facade on
 the command line.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backends.base import backend_produces_outputs
+from repro.backends.registry import (
+    BackendSpec,
+    available_backends,
+    backend_info,
+    get_backend,
+)
 from repro.compiler.dsl import Program
 from repro.compiler.executor import (
     ExecutionReport,
     declared_outputs,
-    execute as execute_circuit,
     reference_output,
 )
 from repro.compiler.pipeline import CompilationReport
@@ -54,10 +65,15 @@ __all__ = [
     "compile",
     "compile_batch",
     "execute",
+    "execute_batch",
     "RunOutcome",
+    "BatchRunOutcome",
     "list_compilers",
     "describe_compiler",
+    "list_backends",
+    "describe_backend",
     "CompilerSpec",
+    "BackendSpec",
     "CompilationCache",
     "CompilationService",
 ]
@@ -166,11 +182,65 @@ class RunOutcome:
     inputs: Dict[str, int]
     reference: List[int]
     outputs: List[int]
+    #: False when the backend produces no outputs (``cost-sim``), in which
+    #: case nothing was decrypted and :attr:`correct` is vacuous.
+    verified: bool = True
 
     @property
     def correct(self) -> bool:
-        """True when the decrypted outputs match the plaintext reference."""
+        """True when the decrypted outputs match the plaintext reference.
+
+        Vacuously true for accounting-only backends (``cost-sim``), which
+        produce no outputs — check :attr:`verified` to distinguish.
+        """
         return self.outputs == self.reference
+
+    @property
+    def backend(self) -> str:
+        """Registry name of the backend that executed the circuit."""
+        return self.execution.backend
+
+
+@dataclass
+class BatchRunOutcome:
+    """Compile once + execute a whole batch of input sets + verify each."""
+
+    report: CompilationReport
+    executions: List[ExecutionReport]
+    inputs: List[Dict[str, int]]
+    references: List[List[int]]
+    outputs: List[List[int]]
+    #: Wall-clock seconds of the execution phase (not compilation).
+    wall_time_s: float = 0.0
+    #: False when the backend produces no outputs (``cost-sim``), in which
+    #: case nothing was decrypted and :attr:`all_correct` is vacuous.
+    verified: bool = True
+    #: Registry name of the backend that executed the batch (meaningful even
+    #: when the batch was empty and no reports exist).
+    backend: str = "reference"
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.executions)
+
+    @property
+    def all_correct(self) -> bool:
+        """True when every input set's outputs match its plaintext reference.
+
+        Vacuously true for accounting-only backends — check
+        :attr:`verified` to distinguish real verification from none.
+        """
+        return all(
+            outputs == reference
+            for outputs, reference in zip(self.outputs, self.references)
+        )
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Executed input sets per wall-clock second."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return len(self.executions) / self.wall_time_s
 
 
 def _sample_inputs(expr: Expr, seed: int, input_range: int = 7) -> Dict[str, int]:
@@ -183,6 +253,7 @@ def execute(
     inputs: Optional[Mapping[str, int]] = None,
     compiler: Union[str, CompilerSpec, object, None] = None,
     *,
+    backend: Union[str, BackendSpec, object, None] = None,
     seed: int = 0,
     name: Optional[str] = None,
     workers: int = 1,
@@ -190,11 +261,14 @@ def execute(
     cache_dir: Optional[str] = None,
     **options: object,
 ) -> RunOutcome:
-    """Compile (unless given a report) and run on the simulated BFV backend.
+    """Compile (unless given a report) and run on a simulated BFV backend.
 
-    Missing ``inputs`` are drawn deterministically from ``seed``.  The
-    decrypted outputs are always verified against the plaintext reference
-    (see :attr:`RunOutcome.correct`).
+    ``backend`` names the execution backend (``reference`` by default;
+    ``vector-vm`` for the batched tape VM, ``cost-sim`` for accounting
+    only).  Missing ``inputs`` are drawn deterministically from ``seed``.
+    Output-producing backends are always verified against the plaintext
+    reference (see :attr:`RunOutcome.correct`); accounting-only backends
+    skip verification because they decrypt nothing.
     """
     if isinstance(source, CompilationReport):
         report = source
@@ -212,17 +286,100 @@ def execute(
     if inputs is None:
         inputs = _sample_inputs(expr, seed=seed)
     inputs = {key: int(value) for key, value in inputs.items()}
-    execution = execute_circuit(report.circuit, inputs)
-    from repro.ir.evaluate import output_arity
+    impl = get_backend(backend)
+    execution = impl.execute(report.circuit, inputs)
+    verified = backend_produces_outputs(impl)
+    if verified:
+        from repro.ir.evaluate import output_arity
 
-    reference = reference_output(expr, inputs, slot_count=max(64, output_arity(expr) + 8))
-    outputs = declared_outputs(report.circuit, execution.outputs)
+        reference = reference_output(
+            expr, inputs, slot_count=max(64, output_arity(expr) + 8)
+        )
+        outputs = declared_outputs(report.circuit, execution.outputs)
+    else:
+        reference = []
+        outputs = []
     return RunOutcome(
         report=report,
         execution=execution,
         inputs=inputs,
         reference=reference,
         outputs=outputs,
+        verified=verified,
+    )
+
+
+def execute_batch(
+    source: Union[Source, CompilationReport],
+    inputs: Optional[Sequence[Mapping[str, int]]] = None,
+    compiler: Union[str, CompilerSpec, object, None] = None,
+    *,
+    batch: int = 8,
+    backend: Union[str, BackendSpec, object, None] = None,
+    seed: int = 0,
+    name: Optional[str] = None,
+    workers: int = 1,
+    cache: Optional[CompilationCache] = None,
+    cache_dir: Optional[str] = None,
+    **options: object,
+) -> BatchRunOutcome:
+    """Compile once and execute a whole batch of input sets.
+
+    ``inputs`` is a sequence of input dicts; when omitted, ``batch`` input
+    sets are drawn deterministically from ``seed``, ``seed + 1``, ...  The
+    batch executes through the backend's ``execute_many`` — one pass over
+    the vector VM's instruction tape serves the entire batch — and each
+    input set is verified against its own plaintext reference.
+    """
+    if isinstance(source, CompilationReport):
+        report = source
+    else:
+        report = compile(
+            source,
+            compiler,
+            name=name,
+            workers=workers,
+            cache=cache,
+            cache_dir=cache_dir,
+            **options,
+        )
+    expr = report.source_expr
+    if inputs is None:
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
+        inputs_list = [_sample_inputs(expr, seed=seed + offset) for offset in range(batch)]
+    else:
+        inputs_list = [
+            {key: int(value) for key, value in mapping.items()} for mapping in inputs
+        ]
+    impl = get_backend(backend)
+    start = time.perf_counter()
+    executions = impl.execute_many(report.circuit, inputs_list)
+    wall_time_s = time.perf_counter() - start
+    verified = backend_produces_outputs(impl)
+    if verified:
+        from repro.ir.evaluate import output_arity
+
+        slot_count = max(64, output_arity(expr) + 8)
+        references = [
+            reference_output(expr, item, slot_count=slot_count) for item in inputs_list
+        ]
+        outputs = [
+            declared_outputs(report.circuit, execution.outputs)
+            for execution in executions
+        ]
+    else:
+        references = [[] for _ in inputs_list]
+        outputs = [[] for _ in inputs_list]
+    return BatchRunOutcome(
+        report=report,
+        executions=executions,
+        inputs=inputs_list,
+        references=references,
+        outputs=outputs,
+        wall_time_s=wall_time_s,
+        verified=verified,
+        backend=getattr(impl, "name", type(impl).__name__),
     )
 
 
@@ -244,3 +401,24 @@ def list_compilers() -> List[Dict[str, str]]:
 def describe_compiler(compiler_name: str, **options: object) -> str:
     """The canonical, version-stamped cache identity of a configuration."""
     return CompilerSpec.create(compiler_name, **options).describe()
+
+
+def list_backends() -> List[Dict[str, object]]:
+    """Every registered execution backend: name, description, when to use."""
+    rows = []
+    for backend_name in available_backends():
+        info = backend_info(backend_name)
+        rows.append(
+            {
+                "name": info.name,
+                "description": info.description,
+                "use_when": info.use_when,
+                "produces_outputs": info.produces_outputs,
+            }
+        )
+    return rows
+
+
+def describe_backend(backend_name: str, **options: object) -> str:
+    """The canonical, version-stamped identity of a backend configuration."""
+    return BackendSpec.create(backend_name, **options).describe()

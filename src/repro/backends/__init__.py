@@ -1,0 +1,57 @@
+"""Pluggable execution backends for lowered ciphertext circuits.
+
+The execution counterpart of the compiler registry: circuits produced by any
+compiler run on a named :class:`~repro.backends.base.ExecutionBackend`,
+
+* ``reference`` — the SEAL-style :class:`~repro.fhe.evaluator.Evaluator`
+  interpreter (bit-compatibility baseline);
+* ``vector-vm`` — a linearized register VM that executes a whole batch of
+  input sets as stacked numpy arrays in one pass over the instruction tape;
+* ``cost-sim`` — a no-crypto simulator running only the noise/latency
+  models for design-space exploration and RL reward evaluation.
+
+Backends register through the same decorator/spec idiom as
+``@register_compiler`` (:mod:`repro.backends.registry`), share per-execution
+accounting through :class:`~repro.fhe.meter.ExecutionMeter` and
+:class:`~repro.backends.base.NoiseLedger`, and are addressed by name from
+``repro.execute(..., backend="vector-vm")``, the ``--backend`` CLI flag and
+the :class:`~repro.service.execution.ExecutionService`.
+"""
+
+from repro.backends.base import (
+    BaseBackend,
+    ExecutionBackend,
+    NoiseLedger,
+    backend_produces_outputs,
+    program_fingerprint,
+)
+from repro.backends.registry import (
+    DEFAULT_BACKEND,
+    BackendInfo,
+    BackendSpec,
+    available_backends,
+    backend_info,
+    build_backend,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "BaseBackend",
+    "NoiseLedger",
+    "backend_produces_outputs",
+    "program_fingerprint",
+    "BackendInfo",
+    "BackendSpec",
+    "register_backend",
+    "available_backends",
+    "backend_info",
+    "build_backend",
+    "get_backend",
+    "resolve_backend",
+    "default_backend_name",
+    "DEFAULT_BACKEND",
+]

@@ -45,6 +45,7 @@ from repro.compiler.executor import (
     ExecutionReport,
     declared_outputs,
     execute,
+    execute_many,
     reference_output,
 )
 from repro.compiler.codegen import generate_seal_code
@@ -79,6 +80,7 @@ __all__ = [
     "simplify_pipeline",
     "ExecutionReport",
     "execute",
+    "execute_many",
     "reference_output",
     "declared_outputs",
     "generate_seal_code",

@@ -1,18 +1,25 @@
-"""Execute lowered circuits on the simulated BFV backend.
+"""Execute lowered circuits through the pluggable execution-backend layer.
 
-:func:`execute` encrypts the program inputs (applying the client-side
-packing layouts recorded by lowering), runs every instruction through the
-:class:`~repro.fhe.evaluator.Evaluator`, decrypts the outputs and returns an
+:func:`execute` and :func:`execute_many` are thin dispatchers over the
+backend registry (:mod:`repro.backends`): the circuit runs on the named
+:class:`~repro.backends.base.ExecutionBackend` — ``reference`` (the
+SEAL-style evaluator, the default), ``vector-vm`` (batched tape VM) or
+``cost-sim`` (accounting only) — and comes back as an
 :class:`ExecutionReport` with
 
-* the decrypted output values (meaningful slots only),
-* the simulated execution latency,
-* per-operation counts,
+* the decrypted output values (meaningful slots only; empty for
+  accounting-only backends),
+* the simulated execution latency and per-operation counts,
 * the consumed noise budget (initial minus the minimum remaining budget over
   the outputs), and
 * whether the noise budget was exhausted (the circuit "failed to execute",
   as Coyote does on Sort-4 and two of the polynomial-tree benchmarks in the
   paper).
+
+The ``REPRO_BACKEND`` environment variable overrides the default backend for
+callers that do not pass ``backend=`` explicitly (used by ``make
+bench-smoke`` to drive the existing benchmark harnesses through the vector
+VM).
 
 :func:`reference_output` computes the same outputs with the plaintext
 reference evaluator, which the tests use to verify end-to-end correctness of
@@ -24,15 +31,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.core.exceptions import CompilationError
-from repro.compiler.circuit import CircuitProgram, Instruction, Opcode
-from repro.fhe.ciphertext import Ciphertext, Plaintext
-from repro.fhe.evaluator import FHEContext
+from repro.compiler.circuit import CircuitProgram
 from repro.fhe.params import BFVParameters
 from repro.ir.evaluate import evaluate
 from repro.ir.nodes import Expr
 
-__all__ = ["ExecutionReport", "execute", "reference_output", "declared_outputs"]
+__all__ = [
+    "ExecutionReport",
+    "execute",
+    "execute_many",
+    "reference_output",
+    "declared_outputs",
+    "default_backend_name",
+]
 
 Value = Union[int, Sequence[int]]
 
@@ -55,7 +66,7 @@ def declared_outputs(
 
 @dataclass
 class ExecutionReport:
-    """Result of executing a circuit on the FHE simulator."""
+    """Result of executing a circuit on one of the simulator backends."""
 
     outputs: Dict[str, List[int]] = field(default_factory=dict)
     latency_ms: float = 0.0
@@ -64,6 +75,10 @@ class ExecutionReport:
     remaining_noise_budget: float = 0.0
     noise_budget_exhausted: bool = False
     encrypted_inputs: int = 0
+    #: Registry name of the backend that produced this report.
+    backend: str = "reference"
+    #: Input sets executed together in the batch this report came from.
+    batch_size: int = 1
 
     @property
     def succeeded(self) -> bool:
@@ -71,115 +86,52 @@ class ExecutionReport:
         return not self.noise_budget_exhausted
 
 
-def _slot_value(slot, inputs: Mapping[str, Value]) -> int:
-    if slot.constant is not None:
-        return int(slot.constant)
-    value = inputs.get(slot.name)
-    if value is None:
-        raise CompilationError(f"missing value for program input {slot.name!r}")
-    if isinstance(value, (list, tuple)):
-        raise CompilationError(
-            f"input {slot.name!r} is packed slot-wise and must be a scalar"
-        )
-    return int(value)
+def default_backend_name() -> str:
+    """The backend used when callers pass ``backend=None``.
 
+    ``REPRO_BACKEND`` overrides the built-in default (``reference``), which
+    lets whole harnesses be rerun on another backend without touching code.
+    """
+    from repro.backends.registry import default_backend_name as _default
 
-def _build_plaintext(instruction: Instruction, context: FHEContext) -> Plaintext:
-    if instruction.name == "broadcast":
-        return context.encoder.encode_scalar(instruction.values[0])
-    return context.encoder.encode(list(instruction.values))
+    return _default()
 
 
 def execute(
     program: CircuitProgram,
     inputs: Mapping[str, Value],
     params: Optional[BFVParameters] = None,
-    context: Optional[FHEContext] = None,
+    context: Optional[object] = None,
+    backend: Union[str, None, object] = None,
 ) -> ExecutionReport:
-    """Run ``program`` on the simulated BFV backend with the given inputs."""
-    if context is None:
-        steps = program.rotation_steps
-        # Generate exactly the Galois keys the circuit needs (plus defaults).
-        galois_steps = sorted(set(steps) | set())
-        context = FHEContext(params=params, galois_steps=galois_steps or None)
-    evaluator = context.evaluator
-    evaluator.reset_log()
+    """Run ``program`` on the named execution backend with the given inputs.
 
-    registers: Dict[int, Union[Ciphertext, Plaintext]] = {}
-    encrypted_inputs = 0
+    ``backend`` is a registry name (``reference``/``vector-vm``/``cost-sim``),
+    a :class:`~repro.backends.registry.BackendSpec` or a live backend object;
+    None uses :func:`default_backend_name`.  ``context`` (a pre-built
+    :class:`~repro.fhe.evaluator.FHEContext`) is honoured by the reference
+    backend; tape backends derive what they need from ``params``.
+    """
+    from repro.backends.registry import get_backend
 
-    for instruction in program.instructions:
-        opcode = instruction.opcode
-        if opcode is Opcode.LOAD_INPUT:
-            slot_values = [_slot_value(slot, inputs) for slot in instruction.layout]
-            plaintext = context.encoder.encode(slot_values)
-            registers[instruction.result] = context.encryptor.encrypt(plaintext)
-            encrypted_inputs += 1
-        elif opcode is Opcode.LOAD_PLAIN:
-            registers[instruction.result] = _build_plaintext(instruction, context)
-        elif opcode is Opcode.ADD:
-            lhs, rhs = (registers[op] for op in instruction.operands)
-            registers[instruction.result] = evaluator.add(lhs, rhs)
-        elif opcode is Opcode.SUB:
-            lhs, rhs = (registers[op] for op in instruction.operands)
-            registers[instruction.result] = evaluator.sub(lhs, rhs)
-        elif opcode is Opcode.MUL:
-            lhs, rhs = (registers[op] for op in instruction.operands)
-            result = evaluator.multiply(lhs, rhs)
-            registers[instruction.result] = evaluator.relinearize(result)
-        elif opcode is Opcode.ADD_PLAIN:
-            lhs = registers[instruction.operands[0]]
-            plain = registers[instruction.operands[1]]
-            registers[instruction.result] = evaluator.add_plain(lhs, plain)
-        elif opcode is Opcode.SUB_PLAIN:
-            lhs = registers[instruction.operands[0]]
-            plain = registers[instruction.operands[1]]
-            registers[instruction.result] = evaluator.sub_plain(lhs, plain)
-        elif opcode is Opcode.MUL_PLAIN:
-            lhs = registers[instruction.operands[0]]
-            plain = registers[instruction.operands[1]]
-            registers[instruction.result] = evaluator.multiply_plain(lhs, plain)
-        elif opcode is Opcode.NEGATE:
-            registers[instruction.result] = evaluator.negate(
-                registers[instruction.operands[0]]
-            )
-        elif opcode is Opcode.ROTATE:
-            registers[instruction.result] = evaluator.rotate(
-                registers[instruction.operands[0]], instruction.step
-            )
-        elif opcode is Opcode.OUTPUT:
-            registers[instruction.result] = registers[instruction.operands[0]]
-        else:  # pragma: no cover - defensive
-            raise CompilationError(f"unknown opcode {opcode}")
+    return get_backend(backend).execute(program, inputs, params=params, context=context)
 
-    report = ExecutionReport(
-        latency_ms=evaluator.log.total_latency_ms,
-        operation_counts=evaluator.log.as_dict(),
-        encrypted_inputs=encrypted_inputs,
-    )
 
-    initial_budget = context.params.initial_noise_budget
-    minimum_budget = initial_budget
-    half = context.params.plain_modulus // 2
-    for register, name, length in program.outputs:
-        value = registers[register]
-        if isinstance(value, Plaintext):
-            decoded = context.encoder.decode(value, length)
-            report.outputs[name] = decoded
-            continue
-        budget = context.decryptor.invariant_noise_budget(value)
-        minimum_budget = min(minimum_budget, budget)
-        if budget <= 0.0:
-            report.noise_budget_exhausted = True
-        raw = value.slots[:length]
-        decoded = [
-            int(v - context.params.plain_modulus) if v > half else int(v) for v in raw
-        ]
-        report.outputs[name] = decoded
+def execute_many(
+    program: CircuitProgram,
+    inputs_list: Sequence[Mapping[str, Value]],
+    params: Optional[BFVParameters] = None,
+    backend: Union[str, None, object] = None,
+) -> List[ExecutionReport]:
+    """Run ``program`` once per input set, batched where the backend can.
 
-    report.remaining_noise_budget = max(0.0, minimum_budget)
-    report.consumed_noise_budget = initial_budget - report.remaining_noise_budget
-    return report
+    The vector VM executes the whole batch in one pass over its instruction
+    tape; other backends fall back to sequential execution.  Reports come
+    back in input order with ``batch_size`` set.
+    """
+    from repro.backends.registry import get_backend
+
+    return get_backend(backend).execute_many(program, list(inputs_list), params=params)
 
 
 def reference_output(

@@ -14,16 +14,23 @@ import math
 import time
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-from repro.compiler.executor import ExecutionReport, declared_outputs, execute
+from repro.backends.base import backend_produces_outputs
+from repro.compiler.executor import ExecutionReport, declared_outputs
 from repro.compiler.pipeline import CompilationReport, Compiler, CompilerOptions
 from repro.kernels.registry import Benchmark
 from repro.rl.agent import ChehabAgent
 from repro.rl.policy import PolicyConfig
 from repro.rl.ppo import PPOConfig
 from repro.rl.reward import RewardConfig
-from repro.service import BatchReport, CompilationCache, CompilationJob, CompilationService
+from repro.service import (
+    BatchReport,
+    CompilationCache,
+    CompilationJob,
+    CompilationService,
+    ExecutionService,
+)
 
 __all__ = [
     "BenchmarkResult",
@@ -40,6 +47,10 @@ class BenchmarkResult:
 
     benchmark: str
     compiler: str
+    backend: str
+    #: False when the backend produces no outputs (``cost-sim``): nothing
+    #: was decrypted, so ``correct`` is vacuous.
+    verified: bool
     compile_time_s: float
     execution_latency_ms: float
     consumed_noise_budget: float
@@ -84,6 +95,7 @@ class BenchmarkRunner:
         compilers: Mapping[str, object],
         input_seed: int = 0,
         *,
+        backend: Union[str, object, None] = None,
         workers: int = 1,
         cache: Optional[CompilationCache] = None,
         cache_dir: Optional[str] = None,
@@ -94,11 +106,20 @@ class BenchmarkRunner:
         registry name (``"coyote"``) or a
         :class:`~repro.compiler.registry.CompilerSpec`; names and specs are
         resolved through the compiler registry and get cache keys that are
-        stable across processes.
+        stable across processes.  ``backend`` names the execution backend
+        every result row runs on (resolved through the backend registry;
+        None follows the ``REPRO_BACKEND``/``reference`` default).
+        Executions route through an :class:`ExecutionService`, which records
+        measured per-circuit times as it goes (a scheduler sharing the
+        service — :meth:`ExecutionService.run_jobs` — then prefers them
+        over the analytical model).
         """
         if not compilers:
             raise ValueError("BenchmarkRunner needs at least one compiler")
         self.input_seed = input_seed
+        self.execution_service = ExecutionService(backend)
+        self.backend = self.execution_service.backend
+        self.backend_name = self.execution_service.backend_name
         self.cache = cache if cache is not None else CompilationCache(directory=cache_dir)
         self.services: Dict[str, CompilationService] = {
             label: CompilationService(compiler, workers=workers, cache=self.cache)
@@ -119,13 +140,19 @@ class BenchmarkRunner:
         reference: Sequence[int],
         inputs: Mapping[str, int],
     ) -> BenchmarkResult:
-        execution: ExecutionReport = execute(report.circuit, inputs)
-        output = declared_outputs(report.circuit, execution.outputs)
-        correct = list(output) == list(reference)
+        execution: ExecutionReport = self.execution_service.execute(report.circuit, inputs)
+        verified = backend_produces_outputs(self.backend)
+        if verified:
+            output = declared_outputs(report.circuit, execution.outputs)
+            correct = list(output) == list(reference)
+        else:
+            correct = True  # vacuous: accounting-only backends decrypt nothing
         stats = report.stats
         return BenchmarkResult(
             benchmark=benchmark.name,
             compiler=label,
+            backend=self.backend_name,
+            verified=verified,
             compile_time_s=report.compile_time_s,
             execution_latency_ms=execution.latency_ms,
             consumed_noise_budget=execution.consumed_noise_budget,

@@ -31,6 +31,7 @@ from repro.fhe.keys import GaloisKeys, KeyGenerator, PublicKey, RelinKeys, Secre
 from repro.fhe.noise import NoiseModel
 from repro.fhe.latency import LatencyModel
 from repro.fhe.evaluator import Decryptor, Encryptor, Evaluator, FHEContext
+from repro.fhe.meter import ExecutionMeter, OperationLog
 from repro.fhe.rotation_keys import (
     RotationKeyPlan,
     naf_decomposition,
@@ -54,6 +55,8 @@ __all__ = [
     "Encryptor",
     "Decryptor",
     "Evaluator",
+    "ExecutionMeter",
+    "OperationLog",
     "RotationKeyPlan",
     "naf_decomposition",
     "select_rotation_keys",

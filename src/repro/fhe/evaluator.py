@@ -12,16 +12,17 @@ The API mirrors Microsoft SEAL's so compiled circuits read naturally:
     context.encoder.decode(context.decryptor.decrypt(ct_c), 3)  # [5, 7, 9]
 
 Every operation updates the result's noise budget according to the
-:class:`~repro.fhe.noise.NoiseModel` and accumulates simulated latency in the
-evaluator's :class:`OperationLog`, which the experiment harness uses to
-report execution times, operation counts and consumed noise budget.
+:class:`~repro.fhe.noise.NoiseModel` and meters simulated latency through an
+:class:`~repro.fhe.meter.ExecutionMeter`, which the execution backends use
+to report execution times, operation counts and consumed noise budget.  Each
+evaluator owns one meter; executions wanting isolated accounting construct a
+fresh :class:`Evaluator` (or pass their own meter) instead of resetting
+shared state.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -30,29 +31,18 @@ from repro.fhe.ciphertext import Ciphertext, Plaintext
 from repro.fhe.encoder import BatchEncoder
 from repro.fhe.keys import GaloisKeys, KeyGenerator, PublicKey, RelinKeys, SecretKey
 from repro.fhe.latency import LatencyModel
+from repro.fhe.meter import ExecutionMeter, OperationLog
 from repro.fhe.noise import NoiseModel
 from repro.fhe.params import BFVParameters
 
-__all__ = ["OperationLog", "FHEContext", "Encryptor", "Decryptor", "Evaluator"]
-
-
-@dataclass
-class OperationLog:
-    """Accumulates operation counts and simulated latency for one execution."""
-
-    counts: Counter = field(default_factory=Counter)
-    total_latency_ms: float = 0.0
-
-    def record(self, operation: str, latency_ms: float) -> None:
-        self.counts[operation] += 1
-        self.total_latency_ms += latency_ms
-
-    def reset(self) -> None:
-        self.counts.clear()
-        self.total_latency_ms = 0.0
-
-    def as_dict(self) -> Dict[str, int]:
-        return dict(self.counts)
+__all__ = [
+    "ExecutionMeter",
+    "OperationLog",
+    "FHEContext",
+    "Encryptor",
+    "Decryptor",
+    "Evaluator",
+]
 
 
 class FHEContext:
@@ -134,14 +124,26 @@ class Decryptor:
 class Evaluator:
     """Homomorphic operations with noise and latency accounting."""
 
-    def __init__(self, context: FHEContext, strict_noise: bool = False) -> None:
+    def __init__(
+        self,
+        context: FHEContext,
+        strict_noise: bool = False,
+        meter: Optional[ExecutionMeter] = None,
+    ) -> None:
         self._context = context
         #: When True, operations raise as soon as the budget is exhausted;
         #: otherwise the budget simply clamps at zero and decryption fails.
         self.strict_noise = strict_noise
-        self.log = OperationLog()
+        #: Per-execution accounting.  Created fresh per evaluator, so two
+        #: evaluators never share (or silently accumulate into) one log.
+        self.meter = meter if meter is not None else ExecutionMeter.for_context(context)
 
     # -- helpers -------------------------------------------------------------
+    @property
+    def log(self) -> OperationLog:
+        """The operation log of this evaluator's meter."""
+        return self.meter.log
+
     @property
     def _noise(self) -> NoiseModel:
         return self._context.noise_model
@@ -163,7 +165,7 @@ class Evaluator:
                 f"noise budget exhausted during {operation}",
                 consumed_bits=self._context.params.initial_noise_budget,
             )
-        self.log.record(operation, self._latency.cost_ms(operation))
+        self.meter.record(operation)
         return Ciphertext(
             slots,
             self._context.params.plain_modulus,
@@ -289,8 +291,3 @@ class Evaluator:
         budget = operand.noise_budget - self._noise.rotate_cost(step)
         rotated = np.roll(operand.slots, -step)
         return self._result(rotated, budget, "rotate", mult_count=operand.mult_count)
-
-    # -- reporting -----------------------------------------------------------
-    def reset_log(self) -> None:
-        """Clear accumulated operation counts and latency."""
-        self.log.reset()

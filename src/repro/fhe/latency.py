@@ -18,7 +18,8 @@ paper's comparisons.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict
 
 from repro.fhe.params import BFVParameters
 
@@ -43,6 +44,30 @@ class LatencyModel:
     encrypt_ms: float = 6.0
     decrypt_ms: float = 2.0
     encode_ms: float = 0.6
+    #: Degree-scaled per-operation costs, precomputed once at construction so
+    #: the hot interpreter loop never redoes the n·log n scaling.
+    _costs: Dict[str, float] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        scale = self._scale()
+        costs = {
+            "multiply": self.multiply_ms,
+            "square": self.square_ms,
+            "multiply_plain": self.multiply_plain_ms,
+            "rotate": self.rotate_ms,
+            "add": self.add_ms,
+            "sub": self.add_ms,
+            "negate": self.negate_ms,
+            "relinearize": self.relinearize_ms,
+            "encrypt": self.encrypt_ms,
+            "decrypt": self.decrypt_ms,
+            "encode": self.encode_ms,
+        }
+        object.__setattr__(
+            self, "_costs", {name: cost * scale for name, cost in costs.items()}
+        )
 
     def _scale(self) -> float:
         n = self.params.poly_modulus_degree
@@ -56,21 +81,7 @@ class LatencyModel:
         ``rotate``, ``add``, ``sub``, ``negate``, ``relinearize``,
         ``encrypt``, ``decrypt``, ``encode``.
         """
-        base = {
-            "multiply": self.multiply_ms,
-            "square": self.square_ms,
-            "multiply_plain": self.multiply_plain_ms,
-            "rotate": self.rotate_ms,
-            "add": self.add_ms,
-            "sub": self.add_ms,
-            "negate": self.negate_ms,
-            "relinearize": self.relinearize_ms,
-            "encrypt": self.encrypt_ms,
-            "decrypt": self.decrypt_ms,
-            "encode": self.encode_ms,
-        }
         try:
-            reference_cost = base[operation]
+            return self._costs[operation]
         except KeyError as exc:
             raise ValueError(f"unknown operation {operation!r}") from exc
-        return reference_cost * self._scale()

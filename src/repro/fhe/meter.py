@@ -1,0 +1,90 @@
+"""Per-execution noise/latency accounting shared by every execution backend.
+
+Historically the :class:`~repro.fhe.evaluator.Evaluator` owned a mutable
+``OperationLog`` that accumulated across executions unless callers remembered
+to call ``reset_log()`` — a footgun that produced inflated latency figures
+whenever two circuits ran through one context.  The accounting now lives in
+an :class:`ExecutionMeter` created fresh per execution: the meter bundles the
+latency and noise models with one :class:`OperationLog`, and every backend
+(the SEAL-style reference interpreter, the batched vector VM, the cost-only
+simulator) meters operations through the same object, so latency and
+operation counts are bit-identical across backends by construction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.fhe.latency import LatencyModel
+from repro.fhe.noise import NoiseModel
+from repro.fhe.params import BFVParameters
+
+__all__ = ["OperationLog", "ExecutionMeter"]
+
+
+@dataclass
+class OperationLog:
+    """Operation counts and simulated latency for one execution."""
+
+    counts: Counter = field(default_factory=Counter)
+    total_latency_ms: float = 0.0
+
+    def record(self, operation: str, latency_ms: float) -> None:
+        self.counts[operation] += 1
+        self.total_latency_ms += latency_ms
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+
+class ExecutionMeter:
+    """Latency/noise models plus a fresh :class:`OperationLog`.
+
+    One meter accounts for exactly one execution; create a new meter (or a
+    new :class:`~repro.fhe.evaluator.Evaluator`, which makes its own) for the
+    next run instead of resetting shared state.
+    """
+
+    __slots__ = ("params", "latency_model", "noise_model", "log")
+
+    def __init__(
+        self,
+        params: Optional[BFVParameters] = None,
+        latency_model: Optional[LatencyModel] = None,
+        noise_model: Optional[NoiseModel] = None,
+    ) -> None:
+        self.params = params if params is not None else BFVParameters.default()
+        self.latency_model = (
+            latency_model if latency_model is not None else LatencyModel(self.params)
+        )
+        self.noise_model = (
+            noise_model if noise_model is not None else NoiseModel(self.params)
+        )
+        self.log = OperationLog()
+
+    @classmethod
+    def for_context(cls, context) -> "ExecutionMeter":
+        """A meter sharing ``context``'s parameter and model objects."""
+        return cls(
+            params=context.params,
+            latency_model=context.latency_model,
+            noise_model=context.noise_model,
+        )
+
+    def record(self, operation: str) -> None:
+        """Count one ``operation`` and charge its simulated latency."""
+        self.log.record(operation, self.latency_model.cost_ms(operation))
+
+    # -- accessors mirrored from the log ------------------------------------
+    @property
+    def total_latency_ms(self) -> float:
+        return self.log.total_latency_ms
+
+    @property
+    def counts(self) -> Counter:
+        return self.log.counts
+
+    def operation_counts(self) -> Dict[str, int]:
+        return self.log.as_dict()

@@ -69,6 +69,7 @@ class FheRewriteEnv:
         self.current: Optional[Expr] = None
         self.initial_cost: float = 0.0
         self.current_cost: float = 0.0
+        self.initial_latency_ms: float = 0.0
         self.steps_taken: int = 0
         self.episode_reward: float = 0.0
 
@@ -113,6 +114,8 @@ class FheRewriteEnv:
         self.current = expr if expr is not None else self.expression_source()
         self.initial_cost = self._cost(self.current)
         self.current_cost = self.initial_cost
+        if self.config.reward.use_latency_terminal:
+            self.initial_latency_ms = self.config.reward.simulated_latency_ms(self.current)
         self.steps_taken = 0
         self.episode_reward = 0.0
         return self._observation()
@@ -148,7 +151,18 @@ class FheRewriteEnv:
         if self.steps_taken >= self.config.max_steps:
             done = True
         if done:
-            reward += reward_config.terminal_reward(self.initial_cost, self.current_cost)
+            if reward_config.use_latency_terminal:
+                # Ground the terminal in simulated execution latency via the
+                # (accounting-only) execution backend instead of the
+                # analytical expression cost.
+                final_latency = reward_config.simulated_latency_ms(self.current)
+                reward += reward_config.terminal_reward(
+                    self.initial_latency_ms, final_latency
+                )
+                info["initial_latency_ms"] = self.initial_latency_ms
+                info["final_latency_ms"] = final_latency
+            else:
+                reward += reward_config.terminal_reward(self.initial_cost, self.current_cost)
             info["initial_cost"] = self.initial_cost
             info["final_cost"] = self.current_cost
             info["improvement"] = (

@@ -10,6 +10,13 @@ The reward has two parts:
 The underlying cost is the FHE-aware analytical cost of
 :class:`repro.core.cost.CostModel`; its ``(w_ops, w_depth, w_mult)`` weights
 are what the reward-weight ablation (Table 1) varies.
+
+The terminal reward can optionally be grounded in *simulated execution
+latency* instead of the analytical cost: :meth:`RewardConfig.simulated_latency_ms`
+lowers the expression and runs it through the execution-backend registry on
+the accounting-only ``cost-sim`` backend (no crypto, microseconds per
+evaluation), which is exactly the latency the paper's Fig. 5 measures.
+Enable with ``use_latency_terminal=True``.
 """
 
 from __future__ import annotations
@@ -35,6 +42,11 @@ class RewardConfig:
     step_penalty: float = 0.01
     #: Penalty for selecting an inapplicable rule.
     invalid_action_penalty: float = 0.1
+    #: Ground the terminal reward in simulated execution latency (lower +
+    #: cost-sim backend) instead of the analytical expression cost.
+    use_latency_terminal: bool = False
+    #: Execution backend evaluating latency terminals (registry name).
+    latency_backend: str = "cost-sim"
 
     @classmethod
     def with_weights(cls, ops: float, depth: float, mult: float, **kwargs) -> "RewardConfig":
@@ -54,3 +66,20 @@ class RewardConfig:
         if not self.use_terminal_reward or initial_cost <= 0:
             return 0.0
         return ((initial_cost - final_cost) / initial_cost) * self.terminal_scale
+
+    # -- execution-grounded rewards (through the backend registry) ---------------
+    def simulated_latency_ms(self, expr) -> float:
+        """Simulated execution latency of ``expr`` once lowered to a circuit.
+
+        Lowers the expression and runs the instruction tape on the
+        configured accounting-only backend — the same latency model every
+        execution backend meters with, at a tiny fraction of a reference
+        execution's wall-clock, which is what makes per-episode latency
+        rewards affordable during RL rollouts.
+        """
+        from repro.backends.registry import get_backend
+        from repro.compiler.lowering import lower
+
+        program = lower(expr)
+        report = get_backend(self.latency_backend).execute(program, inputs={})
+        return report.latency_ms

@@ -10,6 +10,10 @@ service suitable for experiment harnesses and, eventually, online serving:
   compilation jobs across workers, weighted by the analytical cost model.
 * :mod:`repro.service.service` — :class:`CompilationService`, the facade
   combining both, with a serial fallback that keeps results deterministic.
+* :mod:`repro.service.execution` — :class:`ExecutionService`, the batched
+  execution counterpart: jobs run on any registered execution backend under
+  timer-augmented LPT scheduling (measured per-circuit times preferred over
+  the analytical model on re-scheduling).
 """
 
 from repro.service.cache import (
@@ -17,6 +21,12 @@ from repro.service.cache import (
     CompilationCache,
     cache_key,
     compiler_fingerprint,
+)
+from repro.service.execution import (
+    ExecutionBatchReport,
+    ExecutionJob,
+    ExecutionRecord,
+    ExecutionService,
 )
 from repro.service.scheduler import WorkerPlan, makespan, partition_jobs
 from repro.service.service import (
@@ -27,6 +37,10 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "ExecutionBatchReport",
+    "ExecutionJob",
+    "ExecutionRecord",
+    "ExecutionService",
     "CacheStats",
     "CompilationCache",
     "cache_key",

@@ -1,0 +1,276 @@
+"""The batched execution service with timer-augmented scheduling.
+
+:class:`ExecutionService` is the execution-side counterpart of
+:class:`~repro.service.service.CompilationService`: it wraps any registered
+:class:`~repro.backends.base.ExecutionBackend` and schedules batches of
+``(circuit, input sets)`` jobs across workers.
+
+Scheduling weights follow the timer-augmented cost-function idea from the
+load-balancing literature (McDoniel & Bientinesi): an analytical model gets
+the first batch placed, but *measured* per-circuit execution times are
+recorded (exponentially-weighted, keyed by circuit content hash and backend
+``describe()`` string) and preferred over the model whenever a circuit has
+run before.  Model estimates for still-unmeasured circuits are calibrated by
+the observed measured/model ratio, so mixed batches keep comparable weights.
+Jobs are then packed largest-first (LPT, the same
+:func:`~repro.service.scheduler.partition_jobs` the compilation service
+uses) so one deep circuit cannot serialize the whole batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.backends.base import program_fingerprint
+from repro.backends.registry import BackendSpec, resolve_backend
+from repro.compiler.circuit import CircuitProgram
+from repro.compiler.executor import ExecutionReport, Value
+from repro.fhe.latency import LatencyModel
+from repro.fhe.params import BFVParameters
+from repro.service.scheduler import makespan, partition_jobs
+
+__all__ = ["ExecutionJob", "ExecutionRecord", "ExecutionBatchReport", "ExecutionService"]
+
+
+@dataclass
+class ExecutionJob:
+    """One unit of execution work: a circuit plus one or more input sets."""
+
+    program: CircuitProgram
+    inputs: Sequence[Mapping[str, Value]]
+    name: Optional[str] = None
+
+    def label(self) -> str:
+        return self.name or self.program.name
+
+
+@dataclass
+class ExecutionRecord:
+    """Per-job accounting emitted by :meth:`ExecutionService.run_jobs`."""
+
+    name: str
+    #: Scheduling weight used for this job (milliseconds, per input set).
+    estimate_ms: float
+    #: ``"measured"`` when a recorded timer drove the weight, ``"model"``
+    #: when the analytical latency model did.
+    estimate_source: str
+    wall_time_s: float = 0.0
+    batch_size: int = 0
+    worker: int = 0
+
+
+@dataclass
+class ExecutionBatchReport:
+    """Aggregate result of one :meth:`ExecutionService.run_jobs` call."""
+
+    backend: str
+    records: List[ExecutionRecord] = field(default_factory=list)
+    #: One report list per job, in input order.
+    reports: List[List[ExecutionReport]] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    workers: int = 1
+    #: Estimated makespan of the schedule (sum of weights on the largest bin).
+    planned_makespan_ms: float = 0.0
+
+    @property
+    def total_executions(self) -> int:
+        return sum(record.batch_size for record in self.records)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "jobs": len(self.records),
+            "executions": self.total_executions,
+            "workers": self.workers,
+            "wall_time_s": self.wall_time_s,
+            "planned_makespan_ms": self.planned_makespan_ms,
+            "measured_estimates": sum(
+                1 for record in self.records if record.estimate_source == "measured"
+            ),
+        }
+
+
+class ExecutionService:
+    """Batched, timer-augmented-scheduled execution on a named backend.
+
+    Parameters
+    ----------
+    backend:
+        Registry name (``"vector-vm"``), :class:`BackendSpec` or live backend
+        object; None follows the ``REPRO_BACKEND``/``reference`` default.
+    params:
+        BFV parameters every execution runs under (defaults to the paper's).
+    workers:
+        Thread workers for :meth:`run_jobs`.  Execution is numpy-dominated,
+        so threads overlap usefully; ``1`` keeps runs serial.
+    smoothing:
+        EWMA factor for measured execution times (1.0 = keep only the latest
+        measurement).
+    """
+
+    def __init__(
+        self,
+        backend: Union[str, BackendSpec, object, None] = None,
+        *,
+        params: Optional[BFVParameters] = None,
+        workers: int = 1,
+        smoothing: float = 0.5,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.backend, self.spec = resolve_backend(backend)
+        self.backend_name = getattr(self.backend, "name", type(self.backend).__name__)
+        self.params = params if params is not None else BFVParameters.default()
+        self.workers = workers
+        self.smoothing = smoothing
+        self._latency_model = LatencyModel(self.params)
+        #: Measured per-input-set wall seconds, EWMA per circuit.
+        self._measured: Dict[str, float] = {}
+        self._measured_lock = threading.Lock()
+        #: Running sums calibrating model estimates against real timers.
+        self._measured_total_s = 0.0
+        self._model_total_ms = 0.0
+
+    # -- cache keys ---------------------------------------------------------
+    def job_key(self, program: CircuitProgram) -> str:
+        """Measured-time key: backend ``describe()`` + circuit content hash.
+
+        The backend spec's version-stamped description keys the execution
+        side exactly the way compiler ``describe()`` strings key the
+        compilation cache: timings never leak across backends, backend
+        configurations or package versions.
+        """
+        prefix = self.spec.describe() if self.spec is not None else self.backend_name
+        return f"{prefix}::{program_fingerprint(program)}"
+
+    # -- estimates ----------------------------------------------------------
+    def estimate_ms(self, program: CircuitProgram) -> Tuple[float, str]:
+        """Scheduling weight for one input set: ``(milliseconds, source)``.
+
+        Prefers the recorded timer for circuits that have executed before;
+        falls back to the analytical latency model, scaled by the observed
+        measured/model calibration ratio so mixed batches stay comparable.
+        """
+        measured = self._measured.get(self.job_key(program))
+        if measured is not None:
+            return measured * 1000.0, "measured"
+        model_ms = program.estimated_latency_ms(self._latency_model)
+        if self._model_total_ms > 0.0 and self._measured_total_s > 0.0:
+            calibration = (self._measured_total_s * 1000.0) / self._model_total_ms
+            return model_ms * calibration, "model"
+        return model_ms, "model"
+
+    def record_measurement(
+        self, program: CircuitProgram, wall_time_s: float, batch_size: int
+    ) -> None:
+        """Fold a measured execution time into the scheduling state."""
+        if batch_size <= 0:
+            return
+        per_item = wall_time_s / batch_size
+        key = self.job_key(program)
+        model_ms = program.estimated_latency_ms(self._latency_model)
+        with self._measured_lock:
+            previous = self._measured.get(key)
+            if previous is None:
+                self._measured[key] = per_item
+            else:
+                alpha = self.smoothing
+                self._measured[key] = alpha * per_item + (1.0 - alpha) * previous
+            self._measured_total_s += per_item
+            self._model_total_ms += model_ms
+
+    @property
+    def measured_circuits(self) -> int:
+        """How many distinct circuits have recorded timers."""
+        return len(self._measured)
+
+    # -- execution ----------------------------------------------------------
+    def execute(
+        self, program: CircuitProgram, inputs: Mapping[str, Value]
+    ) -> ExecutionReport:
+        """Execute one input set, recording its measured time."""
+        start = time.perf_counter()
+        report = self.backend.execute(program, inputs, params=self.params)
+        self.record_measurement(program, time.perf_counter() - start, 1)
+        return report
+
+    def execute_many(
+        self, program: CircuitProgram, inputs_list: Sequence[Mapping[str, Value]]
+    ) -> List[ExecutionReport]:
+        """Execute a batch of input sets, recording the measured time."""
+        start = time.perf_counter()
+        reports = self.backend.execute_many(program, list(inputs_list), params=self.params)
+        if reports:
+            self.record_measurement(program, time.perf_counter() - start, len(reports))
+        return reports
+
+    def run_jobs(
+        self,
+        jobs: Iterable[Union[ExecutionJob, Tuple[CircuitProgram, Sequence[Mapping[str, Value]]]]],
+    ) -> ExecutionBatchReport:
+        """Execute many circuits' batches under the timer-augmented schedule.
+
+        Jobs may be :class:`ExecutionJob` or ``(program, inputs_list)``
+        pairs.  Reports come back in input order regardless of schedule.
+        """
+        start = time.perf_counter()
+        normalized = [self._normalize_job(job) for job in jobs]
+        batch = ExecutionBatchReport(backend=self.backend_name, workers=self.workers)
+        batch.reports = [[] for _ in normalized]
+        weights: List[float] = []
+        for job in normalized:
+            estimate, source = self.estimate_ms(job.program)
+            weight = estimate * max(len(job.inputs), 1)
+            weights.append(weight)
+            batch.records.append(
+                ExecutionRecord(
+                    name=job.label(),
+                    estimate_ms=estimate,
+                    estimate_source=source,
+                    batch_size=len(job.inputs),
+                )
+            )
+
+        plans = partition_jobs(weights, min(self.workers, max(len(normalized), 1)))
+        batch.planned_makespan_ms = makespan(plans)
+
+        def run_plan(plan) -> None:
+            for index in plan.job_indices:
+                job = normalized[index]
+                job_start = time.perf_counter()
+                reports = self.backend.execute_many(
+                    job.program, list(job.inputs), params=self.params
+                )
+                wall = time.perf_counter() - job_start
+                if reports:
+                    self.record_measurement(job.program, wall, len(reports))
+                batch.reports[index] = reports
+                batch.records[index].wall_time_s = wall
+                batch.records[index].worker = plan.worker
+
+        active = [plan for plan in plans if plan.job_indices]
+        if self.workers > 1 and len(active) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=len(active)) as pool:
+                list(pool.map(run_plan, active))
+        else:
+            for plan in active:
+                run_plan(plan)
+
+        batch.wall_time_s = time.perf_counter() - start
+        return batch
+
+    @staticmethod
+    def _normalize_job(
+        job: Union[ExecutionJob, Tuple[CircuitProgram, Sequence[Mapping[str, Value]]]]
+    ) -> ExecutionJob:
+        if isinstance(job, ExecutionJob):
+            return job
+        program, inputs = job
+        return ExecutionJob(program=program, inputs=list(inputs))

@@ -140,15 +140,21 @@ class TestEvaluator:
         with pytest.raises(NoiseBudgetExhausted):
             context.decryptor.decrypt(ct)
 
-    def test_operation_log_accumulates(self, context):
-        context.evaluator.reset_log()
+    def test_operation_metering_is_per_evaluator(self, context):
+        from repro.fhe import Evaluator
+
+        evaluator = Evaluator(context)
         a = self._encrypt(context, [1])
-        context.evaluator.add(a, a)
-        context.evaluator.multiply(a, a)
-        log = context.evaluator.log
+        evaluator.add(a, a)
+        evaluator.multiply(a, a)
+        log = evaluator.log
         assert log.counts["add"] == 1
         assert log.counts["multiply"] == 1
         assert log.total_latency_ms > 0
+        # A fresh evaluator starts with a fresh meter: no shared accumulation
+        # (and no reset_log() footgun to remember).
+        assert Evaluator(context).log.counts == {}
+        assert not hasattr(evaluator, "reset_log")
 
     def test_consumed_noise_budget(self, context):
         a = self._encrypt(context, [1])
