@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test benchmarks smoke bench-smoke bench-backends docs-check all
+.PHONY: test benchmarks smoke bench-smoke bench-backends bench-server docs-check all
 
 # Tier-1 test suite (tests/ + benchmarks/ collected from the repo root).
 test:
@@ -11,12 +11,14 @@ test:
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-# Fast CI smoke: tier-1 tests, a 2-worker compilation-service run and the
-# three-backend execution parity diff.
+# Fast CI smoke: tier-1 tests, a 2-worker compilation-service run, the
+# three-backend execution parity diff and the job-orchestration server
+# (mixed compile+execute workload, coalescing asserted via telemetry).
 smoke:
 	$(PYTHON) -m pytest tests -x -q
 	$(PYTHON) scripts/service_smoke.py --workers 2
 	$(PYTHON) scripts/backend_smoke.py
+	$(PYTHON) scripts/server_smoke.py
 
 # Fig. 5 execution-time series driven through the batched vector VM.
 bench-smoke:
@@ -25,6 +27,11 @@ bench-smoke:
 # Backend throughput trajectory (rewrites BENCH_backends.json).
 bench-backends:
 	$(PYTHON) scripts/bench_backends.py --check
+
+# Coalesced-server throughput vs one-at-a-time api.execute (rewrites
+# BENCH_server.json; the acceptance bar is 3x).
+bench-server:
+	$(PYTHON) scripts/bench_server.py --check
 
 # Fail when README / architecture code snippets no longer execute.
 docs-check:

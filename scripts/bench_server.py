@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Throughput benchmark of the orchestration server (emits BENCH_server.json).
+
+Measures the headline win of the batch-coalescing scheduler: N queued users
+asking for the same circuits are served in single vector-VM batches (one
+tape pass per circuit) instead of N separate executions.  Three ways of
+running the *same* workload — ``--users`` input sets for each kernel — are
+timed end to end:
+
+* ``server_coalesced``      — submit everything to a :class:`JobServer`
+  (vector-vm backend) and drain: the coalescer groups per circuit;
+* ``api_execute_reference`` — the one-at-a-time reference path: each job is
+  a separate ``repro.api.execute`` call on the default reference backend;
+* ``api_execute_vector_vm`` — one-at-a-time on the vector VM (isolates the
+  coalescing win from the backend win).
+
+Compilation is warmed up outside the timed windows for every path, and each
+path verifies outputs against the plaintext reference (the server does so
+internally).  ``--check`` exits non-zero when the coalesced server fails to
+beat the one-at-a-time reference path by ``--min-speedup`` (the acceptance
+bar is 3x).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    )
+
+import repro
+from repro import api
+from repro.ir.printer import to_sexpr
+from repro.kernels.registry import benchmark_by_name
+from repro.server import Job, JobServer
+
+KERNELS = ("dot_product_8", "matrix_multiply_3x3", "box_blur_3x3", "sort_3")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=32, help="jobs per kernel")
+    parser.add_argument(
+        "--compiler",
+        default="initial",
+        help="compiler producing the circuits (matches bench_backends.py)",
+    )
+    parser.add_argument("--workers", type=int, default=1, help="server worker threads")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing")
+    parser.add_argument("--out", default="BENCH_server.json", help="output JSON path")
+    parser.add_argument(
+        "--check", action="store_true", help="fail unless the speedup bar is met"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="required coalesced-server speedup over one-at-a-time api.execute",
+    )
+    args = parser.parse_args()
+
+    benchmarks = [benchmark_by_name(name) for name in KERNELS]
+    sources = {b.name: to_sexpr(b.expression()) for b in benchmarks}
+    #: Pre-compiled reports shared by both one-at-a-time paths, so their
+    #: timed loops measure execution + verification only.
+    reports = {
+        b.name: api.compile(sources[b.name], args.compiler, name=b.name)
+        for b in benchmarks
+    }
+    total_jobs = len(benchmarks) * args.users
+
+    def server_pass() -> float:
+        server = JobServer(
+            backend="vector-vm", compiler=args.compiler, workers=args.workers
+        )
+        # Warm the compilation cache (the one-at-a-time paths get precompiled
+        # reports, so compilation stays outside every timed window).
+        for benchmark in benchmarks:
+            server.submit(Job(source=sources[benchmark.name], seed=10_000))
+        server.drain()
+        start = time.perf_counter()
+        job_ids = []
+        for benchmark in benchmarks:
+            for user in range(args.users):
+                job_ids.append(
+                    server.submit(Job(source=sources[benchmark.name], seed=user))
+                )
+        server.drain()
+        wall = time.perf_counter() - start
+        for job_id in job_ids:
+            payload = server.result(job_id)
+            if not payload.get("correct", False):
+                raise SystemExit(f"FAIL: server job {job_id} incorrect: {payload}")
+        counters = server.telemetry.snapshot()["counters"]
+        if counters.get("batches_coalesced", 0) <= 0:
+            raise SystemExit("FAIL: server pass coalesced nothing")
+        server_pass.telemetry = counters
+        return wall
+
+    def one_at_a_time(backend: str) -> float:
+        start = time.perf_counter()
+        for benchmark in benchmarks:
+            for user in range(args.users):
+                outcome = api.execute(
+                    reports[benchmark.name], seed=user, backend=backend
+                )
+                if not outcome.correct:
+                    raise SystemExit(
+                        f"FAIL: {benchmark.name} incorrect one-at-a-time on {backend}"
+                    )
+        return time.perf_counter() - start
+
+    walls = {"server_coalesced": min(server_pass() for _ in range(args.repeats))}
+    walls["api_execute_reference"] = min(
+        one_at_a_time("reference") for _ in range(args.repeats)
+    )
+    walls["api_execute_vector_vm"] = min(
+        one_at_a_time("vector-vm") for _ in range(args.repeats)
+    )
+
+    speedup_reference = walls["api_execute_reference"] / walls["server_coalesced"]
+    speedup_uncoalesced = walls["api_execute_vector_vm"] / walls["server_coalesced"]
+    payload = {
+        "version": repro.__version__,
+        "kernels": list(KERNELS),
+        "users_per_kernel": args.users,
+        "jobs": total_jobs,
+        "workers": args.workers,
+        "repeats": args.repeats,
+        "backend": "vector-vm",
+        "wall_s": walls,
+        "throughput_jobs_per_s": {
+            name: total_jobs / wall for name, wall in walls.items()
+        },
+        "speedup_vs_reference_one_at_a_time": speedup_reference,
+        "speedup_vs_vector_vm_one_at_a_time": speedup_uncoalesced,
+        "server_telemetry": server_pass.telemetry,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for name, wall in walls.items():
+        print(f"{name:26s} {wall:8.3f} s   {total_jobs / wall:8.1f} jobs/s")
+    print(
+        f"coalesced server speedup: {speedup_reference:.1f}x vs one-at-a-time "
+        f"reference, {speedup_uncoalesced:.1f}x vs one-at-a-time vector-vm "
+        f"({total_jobs} jobs) -> {args.out}"
+    )
+
+    if args.check and speedup_reference < args.min_speedup:
+        print(
+            f"FAIL: coalesced server speedup {speedup_reference:.2f}x is below "
+            f"the required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

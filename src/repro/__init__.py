@@ -27,13 +27,19 @@ The package is organised around the paper's system:
   content-addressed compilation cache plus cost-aware parallel batch
   compilation) and the batched execution service with timer-augmented
   scheduling.
+* :mod:`repro.server` -- the job-orchestration server: a persistent
+  priority job queue (JSONL store under a state directory), a batch
+  coalescer grouping queued executions that share a circuit fingerprint
+  into single backend batches, a two-level scheduled worker pool and a
+  telemetry registry with JSON snapshots.
 * :mod:`repro.api` -- the unified facade: ``repro.compile(source,
   compiler="greedy")``, ``repro.execute(..., backend="vector-vm")``,
-  ``repro.execute_batch(...)``, ``repro.list_compilers()``,
+  ``repro.execute_batch(...)``, ``repro.submit(...)`` /
+  ``repro.result(...)`` / ``repro.serve(...)``, ``repro.list_compilers()``,
   ``repro.list_backends()`` (also exposed as the ``python -m repro`` CLI).
 """
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 #: Facade names re-exported lazily from :mod:`repro.api` so that
 #: ``import repro`` stays cheap and circular imports (the cache stamps
@@ -51,6 +57,12 @@ _API_EXPORTS = (
     "to_expression",
     "RunOutcome",
     "BatchRunOutcome",
+    "serve",
+    "submit",
+    "status",
+    "result",
+    "default_server",
+    "shutdown_default_server",
 )
 
 __all__ = ["__version__", *_API_EXPORTS]

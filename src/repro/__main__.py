@@ -9,7 +9,13 @@ Subcommands:
 * ``run-batch`` — compile once, execute a whole batch of input sets on a
   backend (the vector VM serves the batch in one tape pass) and verify each;
 * ``list-compilers`` — show every registered compiler configuration;
-* ``list-backends``  — show every registered execution backend.
+* ``list-backends``  — show every registered execution backend;
+* ``serve``   — run the job-orchestration server over a ``--state-dir``
+  (persistent queue; coalesces queued executions sharing a circuit);
+* ``submit``  — queue a compile/execute job into a ``--state-dir`` (picked
+  up by the serving process, or by a later ``serve --drain``);
+* ``jobs``    — list the jobs of a ``--state-dir`` with their status;
+* ``metrics`` — print the server's latest telemetry snapshot.
 
 Sources are s-expressions in the paper's textual IR, e.g.::
 
@@ -19,6 +25,10 @@ Sources are s-expressions in the paper's textual IR, e.g.::
     python -m repro run-batch "(* (+ a b) (+ c d))" --batch 32 --backend vector-vm
     python -m repro compile @kernel.sexp --compiler coyote --cache-dir .cache
     python -m repro list-compilers
+    python -m repro submit "(+ (* a b) c)" --state-dir .state --seed 3
+    python -m repro serve --state-dir .state --drain
+    python -m repro jobs --state-dir .state
+    python -m repro metrics --state-dir .state
 
 ``@path`` reads a source from a file and ``-`` from stdin.  ``--option
 key=value`` forwards factory options to the registry (values are parsed as
@@ -149,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="program inputs (repeatable; default: seeded random values)",
     )
     run_parser.add_argument("--seed", type=int, default=0, help="seed for generated inputs")
+    run_parser.add_argument(
+        "--input-range",
+        type=int,
+        default=7,
+        help="generated inputs are uniform over [0, input-range]",
+    )
     run_parser.add_argument("--name", default=None, help="circuit name")
     run_parser.add_argument(
         "--backend",
@@ -165,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=8, help="input sets to execute (seeded)"
     )
     batch_parser.add_argument("--seed", type=int, default=0, help="base seed for generated inputs")
+    batch_parser.add_argument(
+        "--input-range",
+        type=int,
+        default=7,
+        help="generated inputs are uniform over [0, input-range]",
+    )
     batch_parser.add_argument("--name", default=None, help="circuit name")
     batch_parser.add_argument(
         "--backend",
@@ -175,6 +197,101 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list-compilers", help="show registered compiler configurations")
     subparsers.add_parser("list-backends", help="show registered execution backends")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the job-orchestration server over a state directory"
+    )
+    serve_parser.add_argument(
+        "--state-dir", required=True, help="directory of the persistent job store"
+    )
+    serve_parser.add_argument(
+        "--backend", default=None, help="default execution backend for jobs"
+    )
+    serve_parser.add_argument("--compiler", default="greedy", help="default compiler for jobs")
+    serve_parser.add_argument(
+        "--workers", type=int, default=1, help="execution worker threads"
+    )
+    serve_parser.add_argument(
+        "--poll-interval", type=float, default=0.05, help="store poll cadence (seconds)"
+    )
+    serve_parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="process everything currently queued, then exit (CI mode)",
+    )
+    serve_parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="stop serving after this many seconds (default: until interrupted)",
+    )
+    serve_parser.add_argument("--cache-dir", default=None, help="compilation disk-cache directory")
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="queue a compile/execute job into a state directory"
+    )
+    submit_parser.add_argument("source", help="s-expression, @file, or - for stdin")
+    submit_parser.add_argument(
+        "--state-dir", required=True, help="directory of the persistent job store"
+    )
+    submit_parser.add_argument(
+        "--kind", choices=("execute", "compile"), default="execute", help="job kind"
+    )
+    submit_parser.add_argument(
+        "--inputs",
+        action="append",
+        metavar="a=1,b=2",
+        help="program inputs (repeatable; default: seeded random values)",
+    )
+    submit_parser.add_argument("--seed", type=int, default=0, help="seed for generated inputs")
+    submit_parser.add_argument(
+        "--input-range",
+        type=int,
+        default=7,
+        help="generated inputs are uniform over [0, input-range]",
+    )
+    submit_parser.add_argument(
+        "--compiler", default=None, help="compiler registry name (default: server default)"
+    )
+    submit_parser.add_argument(
+        "--backend", default=None, help="execution backend (default: server default)"
+    )
+    submit_parser.add_argument("--priority", type=int, default=0, help="higher runs earlier")
+    submit_parser.add_argument(
+        "--max-retries", type=int, default=0, help="re-run attempts after a failure"
+    )
+    submit_parser.add_argument("--name", default=None, help="job/circuit name")
+    submit_parser.add_argument(
+        "--option",
+        action="append",
+        metavar="KEY=VALUE",
+        help="compiler factory option (repeatable)",
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the serving process completes the job, then print it",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=60.0, help="--wait timeout in seconds"
+    )
+
+    jobs_parser = subparsers.add_parser(
+        "jobs", help="list the jobs of a state directory with their status"
+    )
+    jobs_parser.add_argument(
+        "--state-dir", required=True, help="directory of the persistent job store"
+    )
+    jobs_parser.add_argument(
+        "--status", default=None, help="only show jobs in this status"
+    )
+
+    metrics_parser = subparsers.add_parser(
+        "metrics", help="print the server's latest telemetry snapshot"
+    )
+    metrics_parser.add_argument(
+        "--state-dir", required=True, help="directory of the persistent job store"
+    )
     return parser
 
 
@@ -197,6 +314,99 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{row['name']:<{width}}  {row['description']}")
             if row["use_when"]:
                 print(f"{'':<{width}}  (use when: {row['use_when']})")
+        return 0
+
+    if args.command == "serve":
+        server = api.serve(
+            args.state_dir,
+            backend=args.backend,
+            compiler=args.compiler,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            poll_interval=args.poll_interval,
+            start=False,
+        )
+        try:
+            if args.drain:
+                processed = server.drain()
+                print(f"drained {processed} job(s)")
+            else:
+                import time as _time
+
+                server.start()
+                print(
+                    f"serving jobs from {args.state_dir} "
+                    f"(backend default: {server.default_backend}, "
+                    f"workers: {server.workers}) — Ctrl-C to stop"
+                )
+                deadline = (
+                    _time.monotonic() + args.max_seconds
+                    if args.max_seconds is not None
+                    else None
+                )
+                try:
+                    while deadline is None or _time.monotonic() < deadline:
+                        _time.sleep(min(args.poll_interval, 0.25))
+                except KeyboardInterrupt:
+                    pass
+        finally:
+            server.close()
+        counters = server.telemetry.snapshot()["counters"]
+        print("telemetry    :", json.dumps(counters, sort_keys=True))
+        return 0
+
+    if args.command == "submit":
+        job_id = api.submit(
+            _read_source(args.source),
+            _parse_inputs(args.inputs),
+            args.compiler,
+            kind=args.kind,
+            backend=args.backend,
+            seed=args.seed,
+            input_range=args.input_range,
+            priority=args.priority,
+            max_retries=args.max_retries,
+            name=args.name,
+            state_dir=args.state_dir,
+            **_parse_options(args.option),
+        )
+        print(job_id)
+        if args.wait:
+            payload = api.result(job_id, state_dir=args.state_dir, timeout=args.timeout)
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    if args.command == "jobs":
+        from repro.server.store import JobStore
+
+        jobs = sorted(
+            JobStore(args.state_dir).replay().values(),
+            key=lambda job: job.submitted_at,
+        )
+        if args.status:
+            jobs = [job for job in jobs if job.status.value == args.status]
+        for job in jobs:
+            row = job.summary()
+            print(
+                f"{row['id']}  {row['status']:<9}  {row['kind']:<7} "
+                f"attempts={row['attempts']}"
+                + (f"  batch={row['coalesced_batch']}" if "coalesced_batch" in row else "")
+                + (f"  error={row['error']!r}" if "error" in row else "")
+            )
+        print(f"{len(jobs)} job(s)")
+        return 0
+
+    if args.command == "metrics":
+        import os as _os
+
+        from repro.server.store import JobStore
+
+        path = JobStore(args.state_dir).metrics_path
+        if not _os.path.exists(path):
+            print(f"no metrics snapshot at {path} (has the server run?)", file=sys.stderr)
+            return 1
+        with open(path, "r", encoding="utf-8") as handle:
+            print(handle.read().rstrip())
         return 0
 
     options = _parse_options(args.option)
@@ -233,6 +443,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.compiler,
             backend=args.backend,
             seed=args.seed,
+            input_range=args.input_range,
             name=args.name,
             workers=args.workers,
             cache_dir=args.cache_dir,
@@ -257,6 +468,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             batch=args.batch,
             backend=args.backend,
             seed=args.seed,
+            input_range=args.input_range,
             name=args.name,
             compiler=args.compiler,
             workers=args.workers,

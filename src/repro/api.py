@@ -27,6 +27,8 @@ the command line.
 
 from __future__ import annotations
 
+import atexit
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -72,6 +74,12 @@ __all__ = [
     "describe_compiler",
     "list_backends",
     "describe_backend",
+    "serve",
+    "submit",
+    "status",
+    "result",
+    "default_server",
+    "shutdown_default_server",
     "CompilerSpec",
     "BackendSpec",
     "CompilationCache",
@@ -243,9 +251,21 @@ class BatchRunOutcome:
         return len(self.executions) / self.wall_time_s
 
 
-def _sample_inputs(expr: Expr, seed: int, input_range: int = 7) -> Dict[str, int]:
+def sample_named_inputs(
+    names: Iterable[str], seed: int, input_range: int = 7
+) -> Dict[str, int]:
+    """Deterministic input sampling: uniform over ``[0, input_range]``.
+
+    The single definition of the seed-to-inputs contract — the facade and
+    the job server both draw through it, so a server job with ``seed=K``
+    executes exactly the inputs ``api.execute(seed=K)`` would.
+    """
     rng = np.random.default_rng(seed)
-    return {name: int(rng.integers(0, input_range + 1)) for name in variables(expr)}
+    return {name: int(rng.integers(0, input_range + 1)) for name in names}
+
+
+def _sample_inputs(expr: Expr, seed: int, input_range: int = 7) -> Dict[str, int]:
+    return sample_named_inputs(variables(expr), seed, input_range)
 
 
 def execute(
@@ -255,6 +275,7 @@ def execute(
     *,
     backend: Union[str, BackendSpec, object, None] = None,
     seed: int = 0,
+    input_range: int = 7,
     name: Optional[str] = None,
     workers: int = 1,
     cache: Optional[CompilationCache] = None,
@@ -265,10 +286,11 @@ def execute(
 
     ``backend`` names the execution backend (``reference`` by default;
     ``vector-vm`` for the batched tape VM, ``cost-sim`` for accounting
-    only).  Missing ``inputs`` are drawn deterministically from ``seed``.
-    Output-producing backends are always verified against the plaintext
-    reference (see :attr:`RunOutcome.correct`); accounting-only backends
-    skip verification because they decrypt nothing.
+    only).  Missing ``inputs`` are drawn deterministically from ``seed``,
+    uniformly over ``[0, input_range]`` per variable.  Output-producing
+    backends are always verified against the plaintext reference (see
+    :attr:`RunOutcome.correct`); accounting-only backends skip verification
+    because they decrypt nothing.
     """
     if isinstance(source, CompilationReport):
         report = source
@@ -284,7 +306,7 @@ def execute(
         )
     expr = report.source_expr
     if inputs is None:
-        inputs = _sample_inputs(expr, seed=seed)
+        inputs = _sample_inputs(expr, seed=seed, input_range=input_range)
     inputs = {key: int(value) for key, value in inputs.items()}
     impl = get_backend(backend)
     execution = impl.execute(report.circuit, inputs)
@@ -317,6 +339,7 @@ def execute_batch(
     batch: int = 8,
     backend: Union[str, BackendSpec, object, None] = None,
     seed: int = 0,
+    input_range: int = 7,
     name: Optional[str] = None,
     workers: int = 1,
     cache: Optional[CompilationCache] = None,
@@ -326,10 +349,11 @@ def execute_batch(
     """Compile once and execute a whole batch of input sets.
 
     ``inputs`` is a sequence of input dicts; when omitted, ``batch`` input
-    sets are drawn deterministically from ``seed``, ``seed + 1``, ...  The
-    batch executes through the backend's ``execute_many`` — one pass over
-    the vector VM's instruction tape serves the entire batch — and each
-    input set is verified against its own plaintext reference.
+    sets are drawn deterministically from ``seed``, ``seed + 1``, ...,
+    uniformly over ``[0, input_range]`` per variable.  The batch executes
+    through the backend's ``execute_many`` — one pass over the vector VM's
+    instruction tape serves the entire batch — and each input set is
+    verified against its own plaintext reference.
     """
     if isinstance(source, CompilationReport):
         report = source
@@ -347,7 +371,10 @@ def execute_batch(
     if inputs is None:
         if batch < 1:
             raise ValueError("batch must be at least 1")
-        inputs_list = [_sample_inputs(expr, seed=seed + offset) for offset in range(batch)]
+        inputs_list = [
+            _sample_inputs(expr, seed=seed + offset, input_range=input_range)
+            for offset in range(batch)
+        ]
     else:
         inputs_list = [
             {key: int(value) for key, value in mapping.items()} for mapping in inputs
@@ -381,6 +408,194 @@ def execute_batch(
         verified=verified,
         backend=getattr(impl, "name", type(impl).__name__),
     )
+
+
+# ---------------------------------------------------------------------------
+# The job-orchestration server surface: serve / submit / status / result.
+# ---------------------------------------------------------------------------
+
+_default_server = None
+_default_server_lock = threading.Lock()
+
+
+def serve(
+    state_dir: Optional[str] = None,
+    *,
+    backend: Optional[str] = None,
+    compiler: str = "greedy",
+    workers: int = 1,
+    compile_workers: int = 1,
+    cache_dir: Optional[str] = None,
+    poll_interval: float = 0.05,
+    start: bool = True,
+):
+    """A :class:`~repro.server.server.JobServer` for this process.
+
+    ``state_dir`` roots the persistent job store (the queue survives
+    restarts there, and ``repro submit --state-dir`` reaches it from other
+    processes); None keeps everything in memory.  With ``start=True`` (the
+    default) the scheduling loop runs in a background thread — submit jobs
+    and block on :func:`result`; with ``start=False`` drive it yourself via
+    ``server.drain()`` / ``server.tick()``.
+    """
+    from repro.server.server import JobServer
+
+    server = JobServer(
+        state_dir,
+        backend=backend,
+        compiler=compiler,
+        workers=workers,
+        compile_workers=compile_workers,
+        cache_dir=cache_dir,
+        poll_interval=poll_interval,
+    )
+    if start:
+        server.start()
+    return server
+
+
+def default_server():
+    """The process-wide in-memory server ``submit``/``result`` fall back to.
+
+    Created (and started) lazily on first use; closed at interpreter exit.
+    """
+    global _default_server
+    with _default_server_lock:
+        if _default_server is None:
+            _default_server = serve(poll_interval=0.005, start=True)
+            atexit.register(shutdown_default_server)
+        return _default_server
+
+
+def shutdown_default_server() -> None:
+    """Close the process-wide default server (no-op when never created)."""
+    global _default_server
+    with _default_server_lock:
+        server, _default_server = _default_server, None
+    if server is not None:
+        server.close()
+
+
+def _client(server: Optional[object], state_dir: Optional[str]):
+    """Resolve the in-process server a client call should talk to."""
+    if server is not None and state_dir is not None:
+        raise ValueError("pass either server= or state_dir=, not both")
+    if server is not None:
+        return server
+    if state_dir is None:
+        return default_server()
+    return None
+
+
+def submit(
+    source: Union[Source, None] = None,
+    inputs: Optional[Mapping[str, int]] = None,
+    compiler: Optional[str] = None,
+    *,
+    kind: str = "execute",
+    backend: Optional[str] = None,
+    seed: int = 0,
+    input_range: int = 7,
+    priority: int = 0,
+    max_retries: int = 0,
+    name: Optional[str] = None,
+    server: Optional[object] = None,
+    state_dir: Optional[str] = None,
+    **options: object,
+) -> str:
+    """Queue a compile/execute job; returns the job id immediately.
+
+    Three targets, in precedence order: an explicit ``server`` object (an
+    in-process :class:`~repro.server.server.JobServer`), a ``state_dir``
+    (appends a queued record to that directory's store — the running
+    ``repro serve`` process picks it up), or the process-wide
+    :func:`default_server`.
+    """
+    from repro.server.jobs import Job
+    from repro.server.store import JobStore
+
+    expr, suggested = to_expression(source)
+    from repro.ir.printer import to_sexpr
+
+    job = Job(
+        kind=kind,
+        source=to_sexpr(expr),
+        compiler=compiler,
+        compiler_options=dict(options),
+        backend=backend,
+        inputs={key: int(value) for key, value in inputs.items()} if inputs else None,
+        seed=seed,
+        input_range=input_range,
+        priority=priority,
+        max_retries=max_retries,
+        name=name or suggested,
+    )
+    target = _client(server, state_dir)
+    if target is not None:
+        return target.submit(job)
+    JobStore(state_dir).append(job)
+    return job.id
+
+
+def status(
+    job_id: str,
+    *,
+    server: Optional[object] = None,
+    state_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """The compact status row of one submitted job."""
+    from repro.server.store import JobStore
+
+    target = _client(server, state_dir)
+    if target is not None:
+        return target.status(job_id)
+    jobs = JobStore(state_dir).replay()
+    if job_id not in jobs:
+        raise KeyError(f"unknown job id {job_id!r}")
+    return jobs[job_id].summary()
+
+
+def result(
+    job_id: str,
+    *,
+    server: Optional[object] = None,
+    state_dir: Optional[str] = None,
+    wait: bool = True,
+    timeout: Optional[float] = 60.0,
+) -> Dict[str, object]:
+    """The result payload of a job (blocking until terminal by default).
+
+    For ``state_dir`` targets the store is re-read on a short poll loop
+    (the serving process updates it); for in-process servers the call blocks
+    on the server's completion condition.
+    """
+    from repro.server.jobs import JobState
+    from repro.server.store import JobStore
+
+    target = _client(server, state_dir)
+    if target is not None:
+        return target.result(job_id, wait=wait, timeout=timeout)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    # One replay, then incremental polls: the serving process appends a few
+    # records per job, so re-reading the whole log 20x/s would be O(polls x
+    # log size) while waiting.
+    store = JobStore(state_dir)
+    jobs = store.replay()
+    if job_id not in jobs:
+        raise KeyError(f"unknown job id {job_id!r}")
+    while True:
+        job = jobs[job_id]
+        if job.status is JobState.FAILED:
+            raise RuntimeError(f"job {job_id} failed: {job.error}")
+        if job.status is JobState.COMPLETED:
+            return job.result or {}
+        if not wait:
+            raise RuntimeError(f"job {job_id} is {job.status.value}; pass wait=True")
+        if deadline is not None and time.monotonic() >= deadline:
+            raise TimeoutError(f"job {job_id} still {job.status.value} after {timeout}s")
+        time.sleep(0.05)
+        for fresh in store.poll():
+            jobs[fresh.id] = fresh
 
 
 def list_compilers() -> List[Dict[str, str]]:

@@ -1,0 +1,55 @@
+"""The job-orchestration server (persistent queue + batch coalescing).
+
+This package is the top level of the system's two-level scheduling story:
+above the worker-level, timer-augmented LPT packing that
+:class:`~repro.service.execution.ExecutionService` already does, it adds a
+*queue-level* scheduler that owns job lifecycle and cross-user batching:
+
+* :mod:`repro.server.jobs` — the :class:`Job` model
+  (``compile``/``execute`` kinds, priorities, retries, JSON round-trip);
+* :mod:`repro.server.store` — a JSONL :class:`JobStore` under a state
+  directory: durable queue, crash recovery, and the file-based submission
+  channel ``repro submit`` uses;
+* :mod:`repro.server.queue` — the priority :class:`JobQueue` with
+  whole-queue batch draining;
+* :mod:`repro.server.coalescer` — grouping of pending executions by circuit
+  fingerprint so one backend batch serves N queued users;
+* :mod:`repro.server.telemetry` — counters / gauges / histograms with JSON
+  snapshot export;
+* :mod:`repro.server.server` — :class:`JobServer`, the orchestrator wiring
+  all of it to the compilation/execution services.
+
+``repro.api`` exposes the client surface (``serve`` / ``submit`` /
+``status`` / ``result``) and ``python -m repro`` the matching CLI
+(``serve`` / ``submit`` / ``jobs`` / ``metrics``).
+"""
+
+from repro.server.coalescer import CoalescedGroup, coalesce
+from repro.server.jobs import (
+    Job,
+    JobState,
+    circuit_from_record,
+    circuit_to_record,
+    new_job_id,
+)
+from repro.server.queue import JobQueue
+from repro.server.server import JobServer
+from repro.server.store import JobStore
+from repro.server.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "CoalescedGroup",
+    "coalesce",
+    "Job",
+    "JobState",
+    "JobQueue",
+    "JobServer",
+    "JobStore",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "circuit_from_record",
+    "circuit_to_record",
+    "new_job_id",
+]

@@ -1,0 +1,75 @@
+"""A thread-safe priority queue of jobs with batch draining.
+
+The scheduling loop of the :class:`~repro.server.server.JobServer` does not
+pop one job at a time: coalescing only works when the scheduler can see
+*all* currently pending work, group it by circuit fingerprint and hand whole
+groups to the backend.  :meth:`JobQueue.pop_batch` therefore drains every
+queued job in priority order in one call (blocking until at least one is
+available or the timeout lapses), which is the queue-level half of the
+two-level scheduling scheme — the worker-level half lives in
+:meth:`repro.service.execution.ExecutionService.run_jobs`.
+
+Ordering: higher ``priority`` first, then submission order (a monotonically
+increasing sequence number breaks ties), so the queue is deterministic and
+starvation-free among equal priorities.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import List, Optional
+
+from repro.server.jobs import Job
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Priority queue: higher ``Job.priority`` first, FIFO within a level."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._sequence = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    def push(self, job: Job) -> None:
+        with self._not_empty:
+            heapq.heappush(self._heap, (-job.priority, next(self._sequence), job))
+            self._not_empty.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """The highest-priority job, or None when the wait times out."""
+        with self._not_empty:
+            if not self._heap and not self._not_empty.wait_for(
+                lambda: bool(self._heap), timeout=timeout
+            ):
+                return None
+            return heapq.heappop(self._heap)[2]
+
+    def pop_batch(self, timeout: Optional[float] = None) -> List[Job]:
+        """Drain every queued job in priority order.
+
+        Blocks until at least one job is available (or ``timeout`` seconds
+        pass, returning ``[]``).  This is what lets the scheduler see the
+        whole pending set at once and coalesce across it.
+        """
+        with self._not_empty:
+            if not self._heap and not self._not_empty.wait_for(
+                lambda: bool(self._heap), timeout=timeout
+            ):
+                return []
+            jobs: List[Job] = []
+            while self._heap:
+                jobs.append(heapq.heappop(self._heap)[2])
+            return jobs
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._heap.clear()

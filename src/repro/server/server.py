@@ -1,0 +1,547 @@
+"""The job-orchestration server: queue in, coalesced batches out.
+
+:class:`JobServer` turns the one-shot compilation/execution stack into a
+long-running service.  Clients submit :class:`~repro.server.jobs.Job`
+objects (in-process through :meth:`JobServer.submit`, or cross-process by
+appending ``queued`` records to the persistent store that ``repro serve``
+polls); the scheduling loop then runs a *two-level* schedule per tick:
+
+1. **Queue level** — drain every pending job in priority order, compile
+   sources through a cached :class:`~repro.service.service.CompilationService`
+   (identical expressions dedup through the content-addressed cache), and
+   *coalesce* execute jobs sharing a circuit fingerprint into single backend
+   batches (:mod:`repro.server.coalescer`) — one vector-VM tape pass serves
+   every queued user of that circuit.
+2. **Worker level** — hand the coalesced groups to
+   :meth:`~repro.service.execution.ExecutionService.run_jobs`, which packs
+   them largest-first across the worker pool using the service's
+   timer-augmented EWMA weights (measured per-circuit times preferred over
+   the analytical latency model).
+
+Every state transition is appended to the
+:class:`~repro.server.store.JobStore` (restart-safe: ``queued`` jobs are
+re-enqueued, jobs caught ``running`` by a crash are retried), and a
+:class:`~repro.server.telemetry.MetricsRegistry` tracks counters, queue
+depth and latency histograms, snapshotted to ``metrics.json`` under the
+state directory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.backends.base import backend_produces_outputs
+from repro.backends.registry import default_backend_name
+from repro.compiler.executor import declared_outputs, reference_output
+from repro.compiler.registry import CompilerSpec
+from repro.fhe.params import BFVParameters
+from repro.ir.analysis import variables
+from repro.ir.evaluate import output_arity
+from repro.ir.nodes import Expr
+from repro.ir.parser import parse
+from repro.server.coalescer import CoalescedGroup, coalesce
+from repro.server.jobs import Job, JobState
+from repro.server.queue import JobQueue
+from repro.server.store import JobStore
+from repro.server.telemetry import MetricsRegistry
+from repro.api import sample_named_inputs
+from repro.service.cache import CompilationCache
+from repro.service.execution import ExecutionJob, ExecutionService
+from repro.service.service import CompilationService
+
+__all__ = ["JobServer"]
+
+
+class JobServer:
+    """A persistent-queue, batch-coalescing orchestration server.
+
+    Parameters
+    ----------
+    state_dir:
+        Directory for the persistent job store and metrics snapshots; None
+        keeps everything in memory (tests, in-process load generation).
+    backend:
+        Default execution backend for jobs that do not name one (falls back
+        to the ``REPRO_BACKEND``/``reference`` default).
+    compiler:
+        Default compiler registry name for jobs that do not name one.
+    workers:
+        Worker threads the execution services pack coalesced groups across.
+    compile_workers:
+        Process-pool workers for the compilation services.
+    params:
+        BFV parameters every execution runs under (defaults to the paper's).
+    poll_interval:
+        Sleep of the background serving loop between empty ticks, and the
+        cadence at which externally appended store records are picked up.
+    """
+
+    def __init__(
+        self,
+        state_dir: Optional[str] = None,
+        *,
+        backend: Optional[str] = None,
+        compiler: str = "greedy",
+        workers: int = 1,
+        compile_workers: int = 1,
+        cache: Optional[CompilationCache] = None,
+        cache_dir: Optional[str] = None,
+        params: Optional[BFVParameters] = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.store = JobStore(state_dir)
+        self.queue = JobQueue()
+        self.telemetry = MetricsRegistry()
+        self.default_backend = backend or default_backend_name()
+        self.default_compiler = compiler
+        self.workers = workers
+        self.compile_workers = compile_workers
+        self.params = params if params is not None else BFVParameters.default()
+        self.poll_interval = poll_interval
+        self.cache = cache if cache is not None else CompilationCache(directory=cache_dir)
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.RLock()
+        self._job_done = threading.Condition(self._lock)
+        #: (compiler key, source) -> (circuit, expr, input names).  The hot
+        #: serving path: N queued users of one kernel must not pay N parses
+        #: and N cache-key hashes before coalescing even starts.
+        self._circuit_memo: "OrderedDict[Tuple[str, Tuple[Tuple[str, object], ...], str], Tuple[object, Expr, List[str]]]" = OrderedDict()
+        self._circuit_memo_cap = 4096
+        self._compile_services: Dict[Tuple[str, Tuple[Tuple[str, object], ...]], CompilationService] = {}
+        self._execution_services: Dict[str, ExecutionService] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self.telemetry.gauge("workers").set(workers)
+        self._recover()
+
+    # -- persistence / recovery --------------------------------------------
+    def _recover(self) -> None:
+        """Replay the store: keep terminal jobs, requeue unfinished ones."""
+        for job in self.store.replay().values():
+            with self._lock:
+                self._jobs[job.id] = job
+            if job.status is JobState.RUNNING:
+                # Caught mid-run by a crash or kill: run it again.
+                job.status = JobState.QUEUED
+                self.store.append(job)
+                self.queue.push(job)
+                self.telemetry.counter("jobs_recovered").inc()
+                self._count_submission(job)
+            elif job.status is JobState.QUEUED:
+                self.queue.push(job)
+                self._count_submission(job)
+        self._update_queue_depth()
+
+    def _poll_store(self) -> int:
+        """Ingest jobs appended to the store by other processes."""
+        ingested = 0
+        for job in self.store.poll():
+            with self._lock:
+                known = job.id in self._jobs
+                if not known:
+                    self._jobs[job.id] = job
+            if not known and job.status is JobState.QUEUED:
+                self.queue.push(job)
+                self._count_submission(job)
+                ingested += 1
+        if ingested:
+            self._update_queue_depth()
+        return ingested
+
+    def _update_queue_depth(self) -> None:
+        self.telemetry.gauge("queue_depth").set(len(self.queue))
+
+    # -- client surface -----------------------------------------------------
+    def submit(self, job: Job) -> str:
+        """Queue one job; returns its id immediately."""
+        with self._lock:
+            if job.id in self._jobs:
+                raise ValueError(f"job id {job.id!r} was already submitted")
+            self._jobs[job.id] = job
+        self.store.append(job)
+        self.queue.push(job)
+        self._count_submission(job)
+        self._update_queue_depth()
+        return job.id
+
+    def _count_submission(self, job: Job) -> None:
+        self.telemetry.counter("jobs_submitted").inc()
+        self.telemetry.counter(f"{job.kind}_jobs").inc()
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job id {job_id!r}") from None
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """The compact status row of one job."""
+        return self.get(job_id).summary()
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """Status rows of every known job, in submission order."""
+        with self._lock:
+            ordered = sorted(self._jobs.values(), key=lambda job: job.submitted_at)
+        return [job.summary() for job in ordered]
+
+    def result(
+        self, job_id: str, *, wait: bool = False, timeout: Optional[float] = None
+    ) -> Dict[str, object]:
+        """The result payload of a completed job.
+
+        With ``wait=True`` blocks until the job reaches a terminal state
+        (requires a running serving loop or a concurrent :meth:`drain`).
+        Raises :class:`RuntimeError` for failed jobs and :class:`TimeoutError`
+        when the wait lapses.
+        """
+        job = self.get(job_id)
+        if wait:
+            with self._job_done:
+                if not self._job_done.wait_for(lambda: job.done, timeout=timeout):
+                    raise TimeoutError(f"job {job_id} still {job.status.value} after {timeout}s")
+        if job.status is JobState.FAILED:
+            raise RuntimeError(f"job {job_id} failed: {job.error}")
+        if job.status is not JobState.COMPLETED:
+            raise RuntimeError(
+                f"job {job_id} is {job.status.value}; pass wait=True or drain() first"
+            )
+        return job.result or {}
+
+    # -- serving loop -------------------------------------------------------
+    def start(self) -> "JobServer":
+        """Run the scheduling loop in a daemon thread until :meth:`stop`."""
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._stop_event.clear()
+            self._thread = threading.Thread(
+                target=self._serve_loop, name="repro-job-server", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _serve_loop(self) -> None:
+        while not self._stop_event.is_set():
+            processed = self.tick(timeout=self.poll_interval)
+            if processed and self.store.persistent:
+                self.telemetry.write_snapshot(self.store.metrics_path)
+
+    def stop(self) -> None:
+        """Stop the background loop (processing finishes the current tick)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop_event.set()
+        thread.join()
+        with self._lock:
+            self._thread = None
+
+    def close(self) -> None:
+        """Stop, write a final metrics snapshot and compact the store."""
+        self.stop()
+        if self.store.persistent:
+            self._poll_store()  # don't compact away a just-submitted job
+            self.telemetry.write_snapshot(self.store.metrics_path)
+            with self._lock:
+                jobs = sorted(self._jobs.values(), key=lambda job: job.submitted_at)
+            self.store.compact(jobs)
+
+    def __enter__(self) -> "JobServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def drain(self, timeout: float = 0.0) -> int:
+        """Process everything currently queued (and store-appended); returns
+        the number of jobs brought to a terminal state."""
+        processed = 0
+        while True:
+            advanced = self.tick(timeout=timeout)
+            processed += advanced
+            # Retried jobs are requeued without reaching a terminal state, so
+            # keep ticking while the queue is non-empty even if this round
+            # finished nothing.
+            if advanced == 0 and len(self.queue) == 0:
+                break
+        if self.store.persistent:
+            self.telemetry.write_snapshot(self.store.metrics_path)
+        return processed
+
+    # -- one scheduling round ----------------------------------------------
+    def tick(self, timeout: Optional[float] = 0.0) -> int:
+        """One scheduling round over every currently pending job.
+
+        Returns the number of jobs that reached a terminal state (retried
+        jobs are requeued and not counted).
+        """
+        tick_start = time.perf_counter()
+        self._poll_store()
+        pending = self.queue.pop_batch(timeout=timeout)
+        self._update_queue_depth()
+        if not pending:
+            return 0
+        self.telemetry.gauge("jobs_running").set(len(pending))
+        now = time.time()
+        #: One tick's state transitions, flushed in a single locked fsync at
+        #: the end (per-job appends would bookend the coalesced batch with 2N
+        #: fsyncs).  Crash mid-tick replays the jobs as queued/running and
+        #: re-runs them — the store's semantics are at-least-once anyway.
+        sink: List[Dict[str, object]] = []
+        for job in pending:
+            job.status = JobState.RUNNING
+            job.attempts += 1
+            job.started_at = now
+            sink.append(job.to_record())
+            self.telemetry.histogram("job_wait_s").observe(now - job.submitted_at)
+
+        compile_jobs = [job for job in pending if job.kind == "compile"]
+        execute_jobs = [job for job in pending if job.kind == "execute"]
+        terminal = 0
+        terminal += self._run_compile_jobs(compile_jobs, sink)
+        terminal += self._run_execute_jobs(execute_jobs, sink)
+        self.store.append_records(sink)
+
+        self.telemetry.gauge("jobs_running").set(0)
+        self._update_queue_depth()
+        self.telemetry.histogram("tick_s").observe(time.perf_counter() - tick_start)
+        return terminal
+
+    # -- compilation --------------------------------------------------------
+    def _compile_service(self, job: Job) -> CompilationService:
+        name = job.compiler or self.default_compiler
+        key = (name, tuple(sorted(job.compiler_options.items())))
+        service = self._compile_services.get(key)
+        if service is None:
+            spec = CompilerSpec.create(name, **job.compiler_options)
+            service = CompilationService(
+                spec, workers=self.compile_workers, cache=self.cache
+            )
+            self._compile_services[key] = service
+        return service
+
+    def _compiled_circuit(self, job: Job) -> Tuple[object, Optional[Expr], List[str]]:
+        """``(circuit, source expression, input names)``, compiling if needed.
+
+        Memoized on ``(compiler configuration, source text)`` so a flood of
+        jobs for one kernel pays parsing/compile-cache hashing once; the
+        shared circuit *object* also lets the coalescer fingerprint each
+        distinct circuit once per tick.
+        """
+        if job.program is not None:
+            return job.program, None, list(job.program.scalar_inputs)
+        memo_key = (
+            job.compiler or self.default_compiler,
+            tuple(sorted(job.compiler_options.items())),
+            job.source,
+        )
+        with self._lock:
+            hit = self._circuit_memo.get(memo_key)
+            if hit is not None:
+                self._circuit_memo.move_to_end(memo_key)
+                return hit
+        expr = parse(job.source)
+        report = self._compile_service(job).compile_expression(
+            expr, name=job.name or "circuit"
+        )
+        entry = (report.circuit, expr, list(variables(expr)))
+        with self._lock:
+            self._circuit_memo[memo_key] = entry
+            while len(self._circuit_memo) > self._circuit_memo_cap:
+                self._circuit_memo.popitem(last=False)
+        return entry
+
+    def _run_compile_jobs(
+        self, jobs: Sequence[Job], sink: List[Dict[str, object]]
+    ) -> int:
+        terminal = 0
+        for job in jobs:
+            try:
+                expr = parse(job.source)
+                service = self._compile_service(job)
+                report = service.compile_expression(expr, name=job.name or "circuit")
+                job.result = {
+                    "name": report.name,
+                    "compiler": job.compiler or self.default_compiler,
+                    "initial_cost": report.initial_cost,
+                    "final_cost": report.final_cost,
+                    "compile_time_s": report.compile_time_s,
+                    "instructions": len(report.circuit.instructions),
+                    "stats": report.stats.as_dict(),
+                }
+                terminal += self._finish(job, JobState.COMPLETED, sink)
+            except Exception as error:
+                terminal += self._handle_failure(job, error, sink)
+        return terminal
+
+    # -- execution ----------------------------------------------------------
+    def _execution_service(self, backend_name: str) -> ExecutionService:
+        service = self._execution_services.get(backend_name)
+        if service is None:
+            service = ExecutionService(
+                backend_name, params=self.params, workers=self.workers
+            )
+            self._execution_services[backend_name] = service
+        return service
+
+    def _job_inputs(self, job: Job, input_names: Sequence[str]) -> List[Dict[str, int]]:
+        if job.inputs is not None:
+            return [dict(job.inputs)]
+        return [sample_named_inputs(input_names, job.seed, job.input_range)]
+
+    def _run_execute_jobs(
+        self, jobs: Sequence[Job], sink: List[Dict[str, object]]
+    ) -> int:
+        terminal = 0
+        entries = []
+        expressions: Dict[str, Optional[Expr]] = {}
+        for job in jobs:
+            try:
+                program, expr, names = self._compiled_circuit(job)
+                inputs = self._job_inputs(job, names)
+                backend_name = job.backend or self.default_backend
+                # Resolving the service now surfaces unknown-backend errors
+                # per job instead of failing the whole group later.
+                self._execution_service(backend_name)
+                expressions[job.id] = expr
+                entries.append((job, program, inputs, backend_name))
+            except Exception as error:
+                terminal += self._handle_failure(job, error, sink)
+
+        groups = coalesce(entries)
+        by_backend: Dict[str, List[CoalescedGroup]] = {}
+        for group in groups:
+            by_backend.setdefault(group.backend_key, []).append(group)
+
+        for backend_name, backend_groups in by_backend.items():
+            service = self._execution_service(backend_name)
+            self.telemetry.counter("batches_total").inc(len(backend_groups))
+            for group in backend_groups:
+                self.telemetry.histogram("group_size", bounds=(1, 2, 4, 8, 16, 32, 64, 128)).observe(
+                    len(group.jobs)
+                )
+                if group.coalesced:
+                    self.telemetry.counter("batches_coalesced").inc()
+                    self.telemetry.counter("coalesced_jobs").inc(len(group.jobs))
+            exec_jobs = [
+                ExecutionJob(
+                    program=group.program,
+                    inputs=group.batched_inputs,
+                    name=group.jobs[0].label(),
+                )
+                for group in backend_groups
+            ]
+            try:
+                batch = service.run_jobs(exec_jobs)
+            except Exception as error:
+                for group in backend_groups:
+                    for job in group.jobs:
+                        terminal += self._handle_failure(job, error, sink)
+                continue
+            self.telemetry.counter("executions_total").inc(batch.total_executions)
+            for group, reports, record in zip(
+                backend_groups, batch.reports, batch.records
+            ):
+                for job_index, (job, (lo, hi)) in enumerate(
+                    zip(group.jobs, group.slices())
+                ):
+                    try:
+                        job.result = self._execution_result(
+                            job_index,
+                            group,
+                            reports[lo:hi],
+                            expressions.get(job.id),
+                            record.estimate_source,
+                        )
+                        terminal += self._finish(job, JobState.COMPLETED, sink)
+                    except Exception as error:
+                        terminal += self._handle_failure(job, error, sink)
+        return terminal
+
+    def _execution_result(
+        self,
+        job_index: int,
+        group: CoalescedGroup,
+        reports: Sequence[object],
+        expr: Optional[Expr],
+        estimate_source: str,
+    ) -> Dict[str, object]:
+        backend = self._execution_services[group.backend_key].backend
+        verified = backend_produces_outputs(backend) and expr is not None
+        inputs = group.inputs_per_job[job_index]
+        outputs = [
+            declared_outputs(group.program, report.outputs) for report in reports
+        ]
+        result: Dict[str, object] = {
+            "backend": group.backend_key,
+            "inputs": [dict(item) for item in inputs],
+            "outputs": outputs,
+            "coalesced_batch": len(group.batched_inputs),
+            "group_jobs": len(group.jobs),
+            "estimate_source": estimate_source,
+            "verified": verified,
+        }
+        if reports:
+            head = reports[0]
+            result["latency_ms"] = head.latency_ms
+            result["consumed_noise_budget"] = head.consumed_noise_budget
+            result["remaining_noise_budget"] = head.remaining_noise_budget
+            result["noise_budget_exhausted"] = head.noise_budget_exhausted
+        if verified:
+            slot_count = max(64, output_arity(expr) + 8)
+            references = [
+                reference_output(
+                    expr,
+                    item,
+                    slot_count=slot_count,
+                    plain_modulus=self.params.plain_modulus,
+                )
+                for item in inputs
+            ]
+            result["references"] = references
+            result["correct"] = outputs == references
+        return result
+
+    # -- lifecycle plumbing --------------------------------------------------
+    def _finish(
+        self, job: Job, status: JobState, sink: List[Dict[str, object]]
+    ) -> int:
+        job.status = status
+        if status is JobState.COMPLETED:
+            job.error = None  # clear any earlier retried-attempt message
+        job.finished_at = time.time()
+        if job.started_at is not None:
+            self.telemetry.histogram("job_run_s").observe(
+                job.finished_at - job.started_at
+            )
+        self.telemetry.counter(
+            "jobs_completed" if status is JobState.COMPLETED else "jobs_failed"
+        ).inc()
+        sink.append(job.to_record())
+        with self._job_done:
+            self._job_done.notify_all()
+        return 1
+
+    def _handle_failure(
+        self, job: Job, error: Exception, sink: List[Dict[str, object]]
+    ) -> int:
+        """Requeue for retry when attempts remain, otherwise fail the job."""
+        message = f"{type(error).__name__}: {error}"
+        if job.attempts <= job.max_retries:
+            job.status = JobState.QUEUED
+            job.error = message
+            sink.append(job.to_record())
+            self.queue.push(job)
+            self.telemetry.counter("jobs_retried").inc()
+            self._update_queue_depth()
+            return 0
+        job.error = message + "\n" + traceback.format_exc(limit=4)
+        job.result = None
+        return self._finish(job, JobState.FAILED, sink)

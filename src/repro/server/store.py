@@ -1,0 +1,222 @@
+"""The persistent job store: an append-only JSONL event log.
+
+Every job state change is appended to ``jobs.jsonl`` under the server's
+``state_dir`` as one self-contained JSON record (see
+:meth:`~repro.server.jobs.Job.to_record`), so the store is simultaneously
+
+* **durable state** — :meth:`JobStore.replay` folds the log newest-wins into
+  the current job table, which is how a restarted server recovers its queue
+  (jobs caught mid-``running`` by a crash are requeued by the server);
+* **the submission channel** — ``repro submit`` appends a ``queued`` record
+  from another process and the serving loop picks it up through
+  :meth:`JobStore.poll`, which tails the log past the last offset this store
+  instance has seen.  No sockets, no daemons: the filesystem is the wire.
+
+``state_dir=None`` gives an in-memory store with the same interface, used by
+purely in-process servers (tests, the benchmark load generator).
+
+Appends and compaction hold an exclusive ``fcntl`` lock on a sidecar lock
+file on POSIX (not on the log itself, whose inode compaction replaces), so
+concurrent client submissions interleave whole records and can never land
+on an orphaned inode; :meth:`JobStore.compact` rewrites the log to one
+record per job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.server.jobs import Job
+
+__all__ = ["JobStore"]
+
+try:  # POSIX only; Windows falls back to the in-process lock.
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+LOG_NAME = "jobs.jsonl"
+LOCK_NAME = "jobs.jsonl.lock"
+METRICS_NAME = "metrics.json"
+
+
+class JobStore:
+    """Append-only JSONL persistence for jobs (or in-memory when unrooted).
+
+    The state directory is created lazily on the first *write*, so read-only
+    consumers (``repro jobs``/``repro metrics``, ``api.status``) never
+    create directories as a side effect of a mistyped path.
+    """
+
+    def __init__(self, state_dir: Optional[str] = None) -> None:
+        self.state_dir = os.path.abspath(state_dir) if state_dir else None
+        self._lock = threading.Lock()
+        #: Log byte offset up to which :meth:`poll` has already read.
+        self._offset = 0
+        #: In-memory record log standing in for the file when unrooted.
+        self._memory: List[Dict[str, object]] = []
+
+    # -- paths --------------------------------------------------------------
+    @property
+    def persistent(self) -> bool:
+        return self.state_dir is not None
+
+    @property
+    def log_path(self) -> Optional[str]:
+        if self.state_dir is None:
+            return None
+        return os.path.join(self.state_dir, LOG_NAME)
+
+    @property
+    def metrics_path(self) -> Optional[str]:
+        if self.state_dir is None:
+            return None
+        return os.path.join(self.state_dir, METRICS_NAME)
+
+    def _locked_file(self):
+        """An exclusively flocked handle on the sidecar lock file.
+
+        Appends and :meth:`compact` both serialize on this *separate* lock
+        file rather than on ``jobs.jsonl`` itself: compaction atomically
+        replaces the log's inode, so a writer flocking the log could hold a
+        lock on an orphaned inode and silently lose its record.
+        """
+        os.makedirs(self.state_dir, exist_ok=True)
+        handle = open(os.path.join(self.state_dir, LOCK_NAME), "a")
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        return handle
+
+    # -- writing ------------------------------------------------------------
+    def append(self, job: Job) -> None:
+        """Durably append ``job``'s current state as one log record."""
+        self.append_records([job.to_record()])
+
+    def append_record(self, record: Dict[str, object]) -> None:
+        self.append_records([record])
+
+    def append_records(self, records: Sequence[Dict[str, object]]) -> None:
+        """Durably append many records in one locked open + fsync.
+
+        The batch form is the serving loop's hot path: one coalesced tick
+        transitions N jobs, which must not cost N separate fsyncs.
+        """
+        if not records:
+            return
+        lines = [json.dumps(record, sort_keys=True) for record in records]
+        with self._lock:
+            if self.state_dir is None:
+                if self._offset == len(self._memory):
+                    self._offset += len(lines)
+                self._memory.extend(json.loads(line) for line in lines)
+                return
+            lock_handle = self._locked_file()
+            try:
+                payload = "".join(line + "\n" for line in lines)
+                pre_size = (
+                    os.path.getsize(self.log_path)
+                    if os.path.exists(self.log_path)
+                    else 0
+                )
+                with open(self.log_path, "a", encoding="utf-8") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                if self._offset == pre_size:
+                    # Nothing unread preceded our own records: fast-forward
+                    # the poll offset past them so the serving loop doesn't
+                    # re-scan its own appends forever.
+                    self._offset = pre_size + len(payload.encode("utf-8"))
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
+                lock_handle.close()
+
+    # -- reading ------------------------------------------------------------
+    def _read_records(self, start: int = 0) -> Tuple[List[Dict[str, object]], int]:
+        """Records from byte/sequence offset ``start``, plus the new offset."""
+        if self.state_dir is None:
+            return list(self._memory[start:]), len(self._memory)
+        path = self.log_path
+        if not os.path.exists(path):
+            return [], 0
+        with open(path, "rb") as handle:
+            handle.seek(start)
+            data = handle.read()
+        records: List[Dict[str, object]] = []
+        consumed = 0
+        for raw in data.split(b"\n"):
+            advance = len(raw) + 1
+            if consumed + advance > len(data):
+                # Trailing bytes without a newline: a concurrent append is
+                # mid-write; leave them for the next poll.
+                break
+            consumed += advance
+            raw = raw.strip()
+            if raw:
+                records.append(json.loads(raw.decode("utf-8")))
+        return records, start + consumed
+
+    def replay(self) -> Dict[str, Job]:
+        """Fold the whole log newest-wins into ``{job_id: Job}``.
+
+        Also fast-forwards this store's poll offset to the end of the log, so
+        a subsequent :meth:`poll` only sees records appended afterwards.
+        """
+        with self._lock:
+            records, offset = self._read_records(0)
+            self._offset = offset
+        jobs: Dict[str, Job] = {}
+        for record in records:
+            jobs[str(record["id"])] = Job.from_record(record)
+        return jobs
+
+    def poll(self) -> List[Job]:
+        """Jobs from records appended since the last replay/poll.
+
+        This is the server side of cross-process submission: clients append
+        ``queued`` records, the serving loop polls them into its queue.  A
+        log that shrank since the last poll (another process compacted it)
+        is re-read from the start — records fold newest-wins, so re-seeing
+        old state is harmless while missing new state is not.
+        """
+        with self._lock:
+            start = self._offset
+            if (
+                self.state_dir is not None
+                and os.path.exists(self.log_path)
+                and os.path.getsize(self.log_path) < start
+            ):
+                start = 0
+            records, self._offset = self._read_records(start)
+        return [Job.from_record(record) for record in records]
+
+    def compact(self, jobs: Iterable[Job]) -> None:
+        """Rewrite the log to exactly one record per job (atomic replace).
+
+        Holds the same sidecar lock as appends, so a concurrent client
+        submission cannot land on the replaced inode and vanish.
+        """
+        records = [job.to_record() for job in jobs]
+        with self._lock:
+            if self.state_dir is None:
+                self._memory = records
+                self._offset = len(records)
+                return
+            lock_handle = self._locked_file()
+            try:
+                tmp_path = self.log_path + ".tmp"
+                with open(tmp_path, "w", encoding="utf-8") as handle:
+                    for record in records:
+                        handle.write(json.dumps(record, sort_keys=True) + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, self.log_path)
+                self._offset = os.path.getsize(self.log_path)
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
+                lock_handle.close()

@@ -1,0 +1,239 @@
+"""Server metrics: counters, gauges, latency histograms, JSON snapshots.
+
+A long-running :class:`~repro.server.server.JobServer` needs observable
+internals — how deep is the queue, how many batches were coalesced, what the
+job-latency distribution looks like — without pulling in a metrics
+dependency.  :class:`MetricsRegistry` is a small, thread-safe registry of
+three instrument kinds in the Prometheus mould:
+
+* :class:`Counter` — monotonically increasing event counts
+  (``jobs_completed``, ``batches_coalesced``);
+* :class:`Gauge` — last-written point-in-time values (``queue_depth``);
+* :class:`Histogram` — observation distributions over fixed log-scale
+  buckets plus count/sum/min/max (``job_run_s``, ``job_wait_s``).
+
+:meth:`MetricsRegistry.snapshot` renders everything as one plain dict (JSON
+serializable by construction), and :meth:`MetricsRegistry.write_snapshot`
+atomically persists it — the ``repro metrics`` CLI reads that file, and the
+server smoke asserts coalescing happened from the same snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+import threading
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram bucket upper bounds (seconds): log-scale from 100µs up.
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.001,
+    0.01,
+    0.1,
+    1.0,
+    10.0,
+    100.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for decrements")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def as_dict(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def as_dict(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """An observation distribution over fixed cumulative-style buckets.
+
+    ``buckets[i]`` counts observations ``<= bounds[i]``; one overflow bucket
+    catches the rest.  Count, sum, min and max ride along so snapshots can
+    report means and extremes without retaining raw samples.
+    """
+
+    __slots__ = ("name", "bounds", "_buckets", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram bucket bounds must be sorted")
+        self.name = name
+        self.bounds = tuple(float(bound) for bound in bounds)
+        self._buckets = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            slot = len(self.bounds)
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    slot = index
+                    break
+            self._buckets[slot] += 1
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            buckets: Dict[str, int] = {}
+            for bound, count in zip(self.bounds, self._buckets):
+                buckets[f"le_{bound:g}"] = count
+            buckets["overflow"] = self._buckets[-1]
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "mean": self.mean,
+                "min": self._min if self._count else 0.0,
+                "max": self._max if self._count else 0.0,
+                "buckets": buckets,
+            }
+
+
+class MetricsRegistry:
+    """A named, get-or-create registry of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(
+                    name, bounds if bounds is not None else DEFAULT_BUCKETS
+                )
+            return instrument
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(
+                [*self._counters, *self._gauges, *self._histograms]
+            )
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything in the registry as one JSON-serializable dict."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: instrument.as_dict()
+                    for name, instrument in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: instrument.as_dict()
+                    for name, instrument in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: instrument.as_dict()
+                    for name, instrument in sorted(self._histograms.items())
+                },
+            }
+
+    def write_snapshot(self, path: str) -> Dict[str, object]:
+        """Atomically write :meth:`snapshot` as JSON to ``path``."""
+        payload = self.snapshot()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=directory, suffix=".tmp", delete=False, encoding="utf-8"
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return payload

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -109,6 +110,13 @@ class ExecutionService:
     smoothing:
         EWMA factor for measured execution times (1.0 = keep only the latest
         measurement).
+    max_measured:
+        LRU capacity of the measured-time table.  A long-running server
+        replays an unbounded stream of circuits through one service, so the
+        table is bounded: beyond ``max_measured`` distinct circuits the
+        least-recently-touched entry (read *or* updated) is evicted and that
+        circuit falls back to the calibrated analytical model until it runs
+        again.
     """
 
     def __init__(
@@ -118,19 +126,23 @@ class ExecutionService:
         params: Optional[BFVParameters] = None,
         workers: int = 1,
         smoothing: float = 0.5,
+        max_measured: int = 1024,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if not 0.0 < smoothing <= 1.0:
             raise ValueError("smoothing must be in (0, 1]")
+        if max_measured < 1:
+            raise ValueError("max_measured must be at least 1")
         self.backend, self.spec = resolve_backend(backend)
         self.backend_name = getattr(self.backend, "name", type(self.backend).__name__)
         self.params = params if params is not None else BFVParameters.default()
         self.workers = workers
         self.smoothing = smoothing
+        self.max_measured = max_measured
         self._latency_model = LatencyModel(self.params)
-        #: Measured per-input-set wall seconds, EWMA per circuit.
-        self._measured: Dict[str, float] = {}
+        #: Measured per-input-set wall seconds, EWMA per circuit, bounded LRU.
+        self._measured: "OrderedDict[str, float]" = OrderedDict()
         self._measured_lock = threading.Lock()
         #: Running sums calibrating model estimates against real timers.
         self._measured_total_s = 0.0
@@ -156,9 +168,12 @@ class ExecutionService:
         falls back to the analytical latency model, scaled by the observed
         measured/model calibration ratio so mixed batches stay comparable.
         """
-        measured = self._measured.get(self.job_key(program))
-        if measured is not None:
-            return measured * 1000.0, "measured"
+        key = self.job_key(program)
+        with self._measured_lock:
+            measured = self._measured.get(key)
+            if measured is not None:
+                self._measured.move_to_end(key)  # LRU touch
+                return measured * 1000.0, "measured"
         model_ms = program.estimated_latency_ms(self._latency_model)
         if self._model_total_ms > 0.0 and self._measured_total_s > 0.0:
             calibration = (self._measured_total_s * 1000.0) / self._model_total_ms
@@ -181,6 +196,9 @@ class ExecutionService:
             else:
                 alpha = self.smoothing
                 self._measured[key] = alpha * per_item + (1.0 - alpha) * previous
+            self._measured.move_to_end(key)
+            while len(self._measured) > self.max_measured:
+                self._measured.popitem(last=False)
             self._measured_total_s += per_item
             self._model_total_ms += model_ms
 

@@ -1,0 +1,669 @@
+"""Tests of the job-orchestration server.
+
+Covers the job model (JSON round-trip including the circuit codec), the
+persistent JSONL store (replay, cross-process polling, compaction, crash
+recovery), the priority queue, the batch coalescer, the :class:`JobServer`
+lifecycle (mixed workloads, coalescing telemetry, retries, priorities,
+background serving), the ``repro.api`` client surface
+(``serve``/``submit``/``status``/``result``), the server CLI, the
+``BenchmarkRunner(server=...)`` load-generator routing, and the satellite
+changes that ride along: the bounded LRU measured-time table of
+:class:`ExecutionService` and the ``seed``/``input_range`` parameters of
+``api.execute``/``api.execute_batch``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+import repro
+from repro import api
+from repro.__main__ import main as cli_main
+from repro.compiler import build_compiler
+from repro.fhe.params import BFVParameters
+from repro.ir.printer import to_sexpr
+from repro.kernels.registry import benchmark_by_name, small_benchmark_suite
+from repro.server import (
+    CoalescedGroup,
+    Job,
+    JobQueue,
+    JobServer,
+    JobState,
+    JobStore,
+    MetricsRegistry,
+    circuit_from_record,
+    circuit_to_record,
+    coalesce,
+)
+from repro.server.telemetry import Histogram
+from repro.service import ExecutionJob, ExecutionService
+
+PARAMS = BFVParameters.default(1024)
+SOURCE = "(* (+ a b) (+ c d))"
+
+
+@pytest.fixture(scope="module")
+def compiled_kernels():
+    """A few benchmark kernels compiled once for server-level tests."""
+    compiler = build_compiler("initial")
+    kernels = {}
+    for name in ("dot_product_4", "l2_distance_4", "hamming_distance_4"):
+        benchmark = benchmark_by_name(name)
+        report = compiler.compile_expression(benchmark.expression(), name=name)
+        kernels[name] = (benchmark, report.circuit)
+    return kernels
+
+
+def make_server(tmp_path=None, **kwargs):
+    kwargs.setdefault("backend", "vector-vm")
+    kwargs.setdefault("params", PARAMS)
+    return JobServer(str(tmp_path) if tmp_path is not None else None, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# telemetry
+# ---------------------------------------------------------------------------
+class TestTelemetry:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc()
+        registry.counter("events").inc(2)
+        registry.gauge("depth").set(5)
+        registry.gauge("depth").dec()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["events"] == 3
+        assert snapshot["gauges"]["depth"] == 4
+        with pytest.raises(ValueError, match="only go up"):
+            registry.counter("events").inc(-1)
+
+    def test_histogram_buckets_and_stats(self):
+        histogram = Histogram("lat", bounds=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.9, 5.0):
+            histogram.observe(value)
+        payload = histogram.as_dict()
+        assert payload["count"] == 4
+        assert payload["min"] == 0.05 and payload["max"] == 5.0
+        assert payload["buckets"] == {"le_0.1": 1, "le_1": 2, "overflow": 1}
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("bad", bounds=(1.0, 0.1))
+
+    def test_snapshot_is_json_serializable_and_written(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("h").observe(0.2)
+        path = tmp_path / "metrics.json"
+        written = registry.write_snapshot(str(path))
+        assert json.loads(path.read_text()) == json.loads(json.dumps(written))
+
+    def test_thread_safety_of_counters(self):
+        registry = MetricsRegistry()
+
+        def spin():
+            for _ in range(1000):
+                registry.counter("n").inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("n").value == 4000
+
+
+# ---------------------------------------------------------------------------
+# job model
+# ---------------------------------------------------------------------------
+class TestJobModel:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="source expression or a pre-lowered"):
+            Job(source=None)
+        with pytest.raises(ValueError, match="'compile' or 'execute'"):
+            Job(source=SOURCE, kind="transmogrify")
+
+    def test_record_round_trip(self):
+        job = Job(
+            source=SOURCE,
+            compiler="coyote",
+            compiler_options={"layout_candidates": 4},
+            backend="vector-vm",
+            inputs={"a": 1, "b": 2, "c": 3, "d": 4},
+            priority=3,
+            max_retries=2,
+            name="quad",
+        )
+        clone = Job.from_record(json.loads(json.dumps(job.to_record())))
+        assert clone.id == job.id
+        assert clone.compiler_options == {"layout_candidates": 4}
+        assert clone.inputs == job.inputs
+        assert clone.priority == 3 and clone.max_retries == 2
+        assert clone.status is JobState.QUEUED
+
+    def test_circuit_codec_round_trip(self, compiled_kernels):
+        _, circuit = compiled_kernels["dot_product_4"]
+        clone = circuit_from_record(json.loads(json.dumps(circuit_to_record(circuit))))
+        assert clone.name == circuit.name
+        assert clone.outputs == circuit.outputs
+        assert clone.scalar_inputs == circuit.scalar_inputs
+        assert clone.instructions == circuit.instructions
+
+    def test_program_job_survives_store(self, tmp_path, compiled_kernels):
+        benchmark, circuit = compiled_kernels["dot_product_4"]
+        job = Job(program=circuit, inputs=benchmark.sample_inputs(seed=0))
+        store = JobStore(str(tmp_path))
+        store.append(job)
+        replayed = JobStore(str(tmp_path)).replay()[job.id]
+        assert replayed.program.instructions == circuit.instructions
+
+
+# ---------------------------------------------------------------------------
+# store
+# ---------------------------------------------------------------------------
+class TestJobStore:
+    def test_replay_newest_wins(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        job = Job(source=SOURCE)
+        store.append(job)
+        job.status = JobState.COMPLETED
+        job.result = {"ok": True}
+        store.append(job)
+        replayed = JobStore(str(tmp_path)).replay()
+        assert replayed[job.id].status is JobState.COMPLETED
+        assert replayed[job.id].result == {"ok": True}
+
+    def test_poll_sees_only_foreign_appends(self, tmp_path):
+        server_store = JobStore(str(tmp_path))
+        own = Job(source=SOURCE)
+        server_store.append(own)
+        assert server_store.poll() == []  # own append fast-forwards the offset
+        client = JobStore(str(tmp_path))
+        foreign = Job(source=SOURCE)
+        client.append(foreign)
+        polled = server_store.poll()
+        assert [job.id for job in polled] == [foreign.id]
+        assert server_store.poll() == []
+
+    def test_partial_line_left_for_next_poll(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        store.replay()
+        with open(store.log_path, "a", encoding="utf-8") as handle:
+            handle.write('{"id": "job-x", "kind": "execute", "source": "(+ a b)"')
+        assert store.poll() == []  # no trailing newline yet
+        with open(store.log_path, "a", encoding="utf-8") as handle:
+            handle.write(', "status": "queued"}\n')
+        assert [job.id for job in store.poll()] == ["job-x"]
+
+    def test_compact_rewrites_one_record_per_job(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        job = Job(source=SOURCE)
+        for status in (JobState.QUEUED, JobState.RUNNING, JobState.COMPLETED):
+            job.status = status
+            store.append(job)
+        store.compact([job])
+        lines = [
+            line
+            for line in open(store.log_path, encoding="utf-8").read().splitlines()
+            if line
+        ]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["status"] == "completed"
+
+    def test_in_memory_store(self):
+        store = JobStore(None)
+        assert not store.persistent
+        job = Job(source=SOURCE)
+        store.append(job)
+        assert store.poll() == []  # own appends are not re-polled
+        assert list(store.replay()) == [job.id]
+
+    def test_poll_recovers_from_concurrent_compaction(self, tmp_path):
+        watcher = JobStore(str(tmp_path))
+        writer = JobStore(str(tmp_path))
+        job = Job(source=SOURCE)
+        for status in (JobState.QUEUED, JobState.RUNNING, JobState.COMPLETED):
+            job.status = status
+            writer.append(job)
+        watcher.replay()  # offset now at the 3-record end
+        writer.compact([job])  # log shrinks below the watcher's offset
+        late = Job(source=SOURCE)
+        writer.append(late)
+        polled = {item.id for item in watcher.poll()}
+        assert late.id in polled  # re-read from the start, nothing missed
+
+    def test_read_only_access_does_not_create_state_dir(self, tmp_path):
+        missing = tmp_path / "never-written"
+        store = JobStore(str(missing))
+        assert store.replay() == {} and store.poll() == []
+        assert not missing.exists()
+        store.append(Job(source=SOURCE))  # first write creates it
+        assert missing.exists()
+
+    def test_append_records_batch_is_one_log_write(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        jobs = [Job(source=SOURCE) for _ in range(3)]
+        store.append_records([job.to_record() for job in jobs])
+        assert store.poll() == []  # offset fast-forwarded past the batch
+        assert set(JobStore(str(tmp_path)).replay()) == {job.id for job in jobs}
+
+
+# ---------------------------------------------------------------------------
+# queue
+# ---------------------------------------------------------------------------
+class TestJobQueue:
+    def test_priority_then_fifo(self):
+        queue = JobQueue()
+        low1 = Job(source=SOURCE, priority=0)
+        high = Job(source=SOURCE, priority=5)
+        low2 = Job(source=SOURCE, priority=0)
+        for job in (low1, high, low2):
+            queue.push(job)
+        assert [job.id for job in queue.pop_batch()] == [high.id, low1.id, low2.id]
+
+    def test_pop_timeout(self):
+        queue = JobQueue()
+        assert queue.pop(timeout=0.01) is None
+        assert queue.pop_batch(timeout=0.01) == []
+
+    def test_len_and_clear(self):
+        queue = JobQueue()
+        queue.push(Job(source=SOURCE))
+        assert len(queue) == 1
+        queue.clear()
+        assert len(queue) == 0
+
+
+# ---------------------------------------------------------------------------
+# coalescer
+# ---------------------------------------------------------------------------
+class TestCoalescer:
+    def test_groups_by_fingerprint_and_backend(self, compiled_kernels):
+        benchmark_a, circuit_a = compiled_kernels["dot_product_4"]
+        benchmark_b, circuit_b = compiled_kernels["l2_distance_4"]
+        jobs = [Job(program=circuit_a, inputs=benchmark_a.sample_inputs(s)) for s in range(3)]
+        other = Job(program=circuit_b, inputs=benchmark_b.sample_inputs(0))
+        cross = Job(program=circuit_a, inputs=benchmark_a.sample_inputs(9))
+        entries = [
+            (job, job.program, [job.inputs], "vector-vm") for job in jobs
+        ]
+        entries.append((other, other.program, [other.inputs], "vector-vm"))
+        entries.append((cross, cross.program, [cross.inputs], "reference"))
+        groups = coalesce(entries)
+        assert len(groups) == 3
+        first = groups[0]
+        assert first.coalesced and len(first.jobs) == 3
+        assert first.batched_inputs == [job.inputs for job in jobs]
+        assert first.slices() == [(0, 1), (1, 2), (2, 3)]
+        assert not groups[1].coalesced
+        assert groups[2].backend_key == "reference"
+
+    def test_identical_circuits_different_objects_share_group(self, compiled_kernels):
+        benchmark, circuit = compiled_kernels["dot_product_4"]
+        clone = circuit_from_record(circuit_to_record(circuit))
+        one = Job(program=circuit, inputs=benchmark.sample_inputs(0))
+        two = Job(program=clone, inputs=benchmark.sample_inputs(1))
+        groups = coalesce(
+            [
+                (one, circuit, [one.inputs], "vector-vm"),
+                (two, clone, [two.inputs], "vector-vm"),
+            ]
+        )
+        assert len(groups) == 1 and len(groups[0].jobs) == 2
+
+
+# ---------------------------------------------------------------------------
+# the server
+# ---------------------------------------------------------------------------
+class TestJobServer:
+    def test_mixed_workload_coalesces_and_verifies(self):
+        server = make_server()
+        execute_ids = [server.submit(Job(source=SOURCE, seed=seed)) for seed in range(5)]
+        compile_id = server.submit(Job(source="(+ (* a b) c)", kind="compile"))
+        explicit = server.submit(
+            Job(source="(+ x y)", inputs={"x": 2, "y": 3})
+        )
+        processed = server.drain()
+        assert processed == 7
+        for job_id in execute_ids:
+            payload = server.result(job_id)
+            assert payload["correct"] and payload["coalesced_batch"] == 5
+        assert server.result(explicit)["outputs"] == [[5]]
+        compile_payload = server.result(compile_id)
+        assert compile_payload["final_cost"] <= compile_payload["initial_cost"]
+        counters = server.telemetry.snapshot()["counters"]
+        assert counters["batches_coalesced"] >= 1
+        assert counters["coalesced_jobs"] == 5
+        assert counters["jobs_completed"] == 7
+        assert counters["jobs_submitted"] == 7
+
+    def test_seed_and_input_range_drive_sampling(self):
+        server = make_server()
+        narrow = server.submit(Job(source="(+ a b)", seed=3, input_range=0))
+        wide = server.submit(Job(source="(+ a b)", seed=3, input_range=100))
+        server.drain()
+        narrow_inputs = server.result(narrow)["inputs"][0]
+        assert set(narrow_inputs.values()) == {0}
+        wide_inputs = server.result(wide)["inputs"][0]
+        assert narrow_inputs != wide_inputs
+        # Same seed and range as the facade's sampler: outcomes agree.
+        outcome = api.execute("(+ a b)", seed=3, input_range=100)
+        assert outcome.inputs == wide_inputs
+
+    def test_unknown_compiler_fails_after_retries(self):
+        server = make_server()
+        job = Job(source=SOURCE, compiler="does-not-exist", max_retries=2)
+        server.submit(job)
+        server.drain()
+        assert job.status is JobState.FAILED
+        assert job.attempts == 3  # initial try + 2 retries
+        with pytest.raises(RuntimeError, match="does-not-exist"):
+            server.result(job.id)
+        counters = server.telemetry.snapshot()["counters"]
+        assert counters["jobs_retried"] == 2
+        assert counters["jobs_failed"] == 1
+
+    def test_unknown_backend_fails(self):
+        server = make_server()
+        job = Job(source=SOURCE, backend="warp-drive")
+        server.submit(job)
+        server.drain()
+        assert job.status is JobState.FAILED
+        assert "warp-drive" in job.error
+
+    def test_priority_orders_processing(self):
+        server = make_server()
+        slow = Job(source=SOURCE, priority=0)
+        fast = Job(source="(+ (* a b) c)", priority=9)
+        server.submit(slow)
+        server.submit(fast)
+        server.drain()
+        # Both completed; the higher priority job started no later.
+        assert fast.started_at <= slow.started_at
+        assert fast.status is JobState.COMPLETED and slow.status is JobState.COMPLETED
+
+    def test_duplicate_submission_rejected(self):
+        server = make_server()
+        job = Job(source=SOURCE)
+        server.submit(job)
+        with pytest.raises(ValueError, match="already submitted"):
+            server.submit(job)
+
+    def test_result_without_drain_raises(self):
+        server = make_server()
+        job_id = server.submit(Job(source=SOURCE))
+        with pytest.raises(RuntimeError, match="queued"):
+            server.result(job_id)
+        with pytest.raises(KeyError, match="unknown job id"):
+            server.status("job-nope")
+
+    def test_persistence_restart_and_crash_recovery(self, tmp_path):
+        server = make_server(tmp_path)
+        done = server.submit(Job(source=SOURCE, inputs={"a": 1, "b": 2, "c": 3, "d": 4}))
+        server.drain()
+        server.close()
+
+        # A "crashed" run left a job marked running in the log.
+        crashed = Job(source="(+ x y)", inputs={"x": 1, "y": 1})
+        crashed.status = JobState.RUNNING
+        JobStore(str(tmp_path)).append(crashed)
+
+        reborn = make_server(tmp_path)
+        assert reborn.status(done)["status"] == "completed"
+        assert reborn.result(done)["outputs"] == [[21]]
+        assert reborn.telemetry.counter("jobs_recovered").value == 1
+        reborn.drain()
+        assert reborn.result(crashed.id)["outputs"] == [[2]]
+        assert (tmp_path / "metrics.json").exists()
+
+    def test_store_submission_is_polled_in(self, tmp_path):
+        server = make_server(tmp_path)
+        client = JobStore(str(tmp_path))
+        job = Job(source=SOURCE, seed=1)
+        client.append(job)
+        server.drain()
+        assert server.result(job.id)["correct"]
+
+    def test_background_serving(self):
+        server = make_server(poll_interval=0.005).start()
+        try:
+            job_ids = [server.submit(Job(source=SOURCE, seed=seed)) for seed in range(4)]
+            for job_id in job_ids:
+                assert server.result(job_id, wait=True, timeout=30.0)["correct"]
+        finally:
+            server.close()
+
+    def test_program_jobs_execute(self, compiled_kernels):
+        benchmark, circuit = compiled_kernels["dot_product_4"]
+        server = make_server()
+        inputs = benchmark.sample_inputs(seed=2)
+        job = Job(program=circuit, inputs=inputs)
+        server.submit(job)
+        server.drain()
+        payload = server.result(job.id)
+        # Program-only jobs carry no source expression, so the server cannot
+        # verify them itself; the caller (the harness) checks the outputs.
+        assert payload["verified"] is False
+        assert payload["outputs"][0] == list(benchmark.reference(inputs))
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            JobServer(workers=0)
+
+
+# ---------------------------------------------------------------------------
+# api surface
+# ---------------------------------------------------------------------------
+class TestServerApi:
+    def test_serve_submit_status_result(self):
+        server = api.serve(backend="vector-vm", start=False)
+        job_id = api.submit(SOURCE, {"a": 1, "b": 2, "c": 3, "d": 4}, server=server)
+        assert api.status(job_id, server=server)["status"] == "queued"
+        server.drain()
+        payload = api.result(job_id, server=server, wait=False)
+        assert payload["correct"] and payload["outputs"] == [[21]]
+
+    def test_submit_to_state_dir_and_drain_elsewhere(self, tmp_path):
+        state_dir = str(tmp_path)
+        job_id = api.submit(SOURCE, seed=4, state_dir=state_dir)
+        assert api.status(job_id, state_dir=state_dir)["status"] == "queued"
+        server = api.serve(state_dir, backend="vector-vm", start=False)
+        server.drain()
+        server.close()
+        payload = api.result(job_id, state_dir=state_dir, wait=False)
+        assert payload["correct"]
+
+    def test_server_and_state_dir_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            api.submit(SOURCE, server=object(), state_dir="/tmp/x")
+
+    def test_facade_exports(self):
+        for name in ("serve", "submit", "status", "result", "default_server"):
+            assert callable(getattr(repro, name))
+
+    def test_execute_input_range_and_seed_exposed(self):
+        narrow = api.execute("(+ a b)", seed=5, input_range=0)
+        assert set(narrow.inputs.values()) == {0} and narrow.correct
+        wide = api.execute("(+ a b)", seed=5, input_range=1000)
+        assert narrow.inputs != wide.inputs and wide.correct
+        batch = api.execute_batch("(+ a b)", batch=3, seed=5, input_range=0)
+        assert all(set(item.values()) == {0} for item in batch.inputs)
+        assert batch.all_correct
+
+    def test_run_cli_input_range(self, capsys):
+        assert cli_main(["run", "(+ a b)", "--seed", "5", "--input-range", "0"]) == 0
+        out = capsys.readouterr().out
+        assert '"a": 0' in out and '"b": 0' in out
+        assert (
+            cli_main(
+                ["run-batch", "(+ a b)", "--batch", "2", "--seed", "5", "--input-range", "0"]
+            )
+            == 0
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestServerCli:
+    def test_submit_serve_jobs_metrics(self, tmp_path, capsys):
+        state = str(tmp_path)
+        assert cli_main(["submit", SOURCE, "--state-dir", state, "--seed", "1"]) == 0
+        assert cli_main(["submit", SOURCE, "--state-dir", state, "--seed", "2"]) == 0
+        assert (
+            cli_main(
+                ["submit", "(+ (* a b) c)", "--state-dir", state, "--kind", "compile"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            cli_main(["serve", "--state-dir", state, "--backend", "vector-vm", "--drain"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "drained 3 job(s)" in out
+        assert cli_main(["jobs", "--state-dir", state]) == 0
+        out = capsys.readouterr().out
+        assert out.count("completed") == 3 and "3 job(s)" in out
+        assert cli_main(["metrics", "--state-dir", state]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["batches_coalesced"] >= 1
+
+    def test_metrics_before_serve_fails(self, tmp_path, capsys):
+        assert cli_main(["metrics", "--state-dir", str(tmp_path)]) == 1
+
+    def test_jobs_status_filter(self, tmp_path, capsys):
+        state = str(tmp_path)
+        cli_main(["submit", SOURCE, "--state-dir", state])
+        capsys.readouterr()
+        assert cli_main(["jobs", "--state-dir", state, "--status", "queued"]) == 0
+        assert "1 job(s)" in capsys.readouterr().out
+        assert cli_main(["jobs", "--state-dir", state, "--status", "failed"]) == 0
+        assert "0 job(s)" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# harness routing
+# ---------------------------------------------------------------------------
+class TestHarnessServerRouting:
+    def test_runner_routes_through_server_with_identical_rows(self):
+        from repro.experiments.harness import BenchmarkRunner
+
+        suite = small_benchmark_suite()[:3]
+        # Default params on both sides, so latency/noise figures must match
+        # the direct path bit for bit.
+        server = JobServer(backend="vector-vm")
+        routed = BenchmarkRunner(
+            {"greedy": "greedy"}, backend="vector-vm", server=server
+        ).run(suite)
+        direct = BenchmarkRunner({"greedy": "greedy"}, backend="vector-vm").run(suite)
+        assert [r.correct for r in routed] == [True] * len(suite)
+        for a, b in zip(routed, direct):
+            assert (a.benchmark, a.execution_latency_ms, a.consumed_noise_budget) == (
+                b.benchmark,
+                b.execution_latency_ms,
+                b.consumed_noise_budget,
+            )
+        assert server.telemetry.snapshot()["counters"]["jobs_completed"] == len(suite)
+
+
+# ---------------------------------------------------------------------------
+# satellite: bounded measured-time table (LRU) in ExecutionService
+# ---------------------------------------------------------------------------
+class TestMeasuredTimeLRU:
+    def _circuits(self, count):
+        compiler = build_compiler("initial")
+        suite = small_benchmark_suite()
+        return [
+            compiler.compile_expression(b.expression(), name=b.name).circuit
+            for b in suite[:count]
+        ]
+
+    def test_eviction_beyond_capacity(self):
+        circuits = self._circuits(5)
+        service = ExecutionService("vector-vm", params=PARAMS, max_measured=3)
+        for circuit in circuits:
+            service.record_measurement(circuit, 0.01, 1)
+        assert service.measured_circuits == 3
+        # Oldest two evicted: back to the analytical model.
+        assert service.estimate_ms(circuits[0])[1] == "model"
+        assert service.estimate_ms(circuits[1])[1] == "model"
+        for circuit in circuits[2:]:
+            assert service.estimate_ms(circuit)[1] == "measured"
+
+    def test_estimate_touch_refreshes_recency(self):
+        circuits = self._circuits(3)
+        service = ExecutionService("vector-vm", params=PARAMS, max_measured=2)
+        service.record_measurement(circuits[0], 0.01, 1)
+        service.record_measurement(circuits[1], 0.01, 1)
+        # Touch circuit 0 so circuit 1 becomes the LRU victim.
+        assert service.estimate_ms(circuits[0])[1] == "measured"
+        service.record_measurement(circuits[2], 0.01, 1)
+        assert service.estimate_ms(circuits[0])[1] == "measured"
+        assert service.estimate_ms(circuits[1])[1] == "model"
+
+    def test_update_does_not_grow_table(self):
+        circuits = self._circuits(2)
+        service = ExecutionService("vector-vm", params=PARAMS, max_measured=2)
+        for _ in range(5):
+            for circuit in circuits:
+                service.record_measurement(circuit, 0.01, 1)
+        assert service.measured_circuits == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="max_measured"):
+            ExecutionService("vector-vm", max_measured=0)
+
+
+# ---------------------------------------------------------------------------
+# satellite: timer-augmented re-scheduling prefers measured times
+# ---------------------------------------------------------------------------
+class TestTimerAugmentedRescheduling:
+    def test_second_run_jobs_uses_measured_estimates(self):
+        compiler = build_compiler("initial")
+        suite = small_benchmark_suite()[:3]
+        jobs = [
+            ExecutionJob(
+                program=compiler.compile_expression(b.expression(), name=b.name).circuit,
+                inputs=[b.sample_inputs(seed=0)],
+                name=b.name,
+            )
+            for b in suite
+        ]
+        service = ExecutionService("vector-vm", params=PARAMS)
+        first = service.run_jobs(jobs)
+        assert {record.estimate_source for record in first.records} == {"model"}
+        second = service.run_jobs(jobs)
+        assert {record.estimate_source for record in second.records} == {"measured"}
+        # The measured weight is a real timer, not the model figure.
+        for job, record in zip(jobs, second.records):
+            model_ms = job.program.estimated_latency_ms(service._latency_model)
+            assert record.estimate_ms != pytest.approx(model_ms)
+
+    def test_benchmark_runner_reruns_prefer_measured(self):
+        from repro.experiments.harness import BenchmarkRunner
+
+        suite = small_benchmark_suite()[:2]
+        runner = BenchmarkRunner({"greedy": "greedy"}, backend="vector-vm")
+        runner.run(suite)
+        service = runner.execution_service
+        assert service.measured_circuits == len(suite)
+        # A second harness run schedules every circuit from recorded timers.
+        for benchmark in suite:
+            report = runner.services["greedy"].compile_expression(
+                benchmark.expression(), name=benchmark.name
+            )
+            _, source = service.estimate_ms(report.circuit)
+            assert source == "measured"
+        runner.run(suite)
+        assert service.measured_circuits == len(suite)
+
+    def test_server_reschedules_repeat_circuits_from_timers(self):
+        server = make_server()
+        first = server.submit(Job(source=SOURCE, seed=0))
+        server.drain()
+        assert server.result(first)["estimate_source"] == "model"
+        second = server.submit(Job(source=SOURCE, seed=1))
+        server.drain()
+        assert server.result(second)["estimate_source"] == "measured"
