@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test benchmarks smoke bench-smoke bench-backends bench-server docs-check all
+.PHONY: test benchmarks smoke bench-smoke bench-backends bench-server bench-workloads docs-check all
 
 # Tier-1 test suite (tests/ + benchmarks/ collected from the repo root).
 test:
@@ -12,13 +12,16 @@ benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Fast CI smoke: tier-1 tests, a 2-worker compilation-service run, the
-# three-backend execution parity diff and the job-orchestration server
-# (mixed compile+execute workload, coalescing asserted via telemetry).
+# three-backend execution parity diff, the job-orchestration server
+# (mixed compile+execute workload, coalescing asserted via telemetry) and
+# the workload suite (mixed traffic over a persistent state dir,
+# bit-identical to the direct api path).
 smoke:
 	$(PYTHON) -m pytest tests -x -q
 	$(PYTHON) scripts/service_smoke.py --workers 2
 	$(PYTHON) scripts/backend_smoke.py
 	$(PYTHON) scripts/server_smoke.py
+	$(PYTHON) scripts/workload_smoke.py
 
 # Fig. 5 execution-time series driven through the batched vector VM.
 bench-smoke:
@@ -32,6 +35,12 @@ bench-backends:
 # BENCH_server.json; the acceptance bar is 3x).
 bench-server:
 	$(PYTHON) scripts/bench_server.py --check
+
+# Workload suite: every registered workload on both backends, direct vs
+# server path bit-identical, plus a mixed-traffic coalescing pass
+# (rewrites BENCH_workloads.json).
+bench-workloads:
+	$(PYTHON) scripts/bench_workloads.py --check
 
 # Fail when README / architecture code snippets no longer execute.
 docs-check:

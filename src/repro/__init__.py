@@ -32,6 +32,11 @@ The package is organised around the paper's system:
   coalescer grouping queued executions that share a circuit fingerprint
   into single backend batches, a two-level scheduled worker pool and a
   telemetry registry with JSON snapshots.
+* :mod:`repro.workloads` -- the workload registry (the paper's kernel
+  suites, tree ensembles and an IR-lowered NN layer as registered
+  end-to-end scenarios with input samplers and expected-output oracles)
+  plus the mixed-traffic load generator driving weighted, prioritised
+  workload mixes through the server and the direct facade path.
 * :mod:`repro.api` -- the unified facade: ``repro.compile(source,
   compiler="greedy")``, ``repro.execute(..., backend="vector-vm")``,
   ``repro.execute_batch(...)``, ``repro.submit(...)`` /
@@ -39,7 +44,7 @@ The package is organised around the paper's system:
   ``repro.list_backends()`` (also exposed as the ``python -m repro`` CLI).
 """
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 #: Facade names re-exported lazily from :mod:`repro.api` so that
 #: ``import repro`` stays cheap and circular imports (the cache stamps
@@ -53,6 +58,10 @@ _API_EXPORTS = (
     "describe_compiler",
     "list_backends",
     "describe_backend",
+    "run_workload",
+    "list_workloads",
+    "sample_named_inputs",
+    "derive_batch_seeds",
     "make_service",
     "to_expression",
     "RunOutcome",

@@ -10,6 +10,10 @@ Subcommands:
   backend (the vector VM serves the batch in one tape pass) and verify each;
 * ``list-compilers`` — show every registered compiler configuration;
 * ``list-backends``  — show every registered execution backend;
+* ``workloads``      — list the registered end-to-end workloads, or run one
+  (``workloads dot-product``) as a verified batch on its defaults;
+* ``bench-workloads`` — benchmark the workloads on both backends (direct vs
+  server path, bit-identical) plus a mixed-traffic coalescing pass;
 * ``serve``   — run the job-orchestration server over a ``--state-dir``
   (persistent queue; coalesces queued executions sharing a circuit);
 * ``submit``  — queue a compile/execute job into a ``--state-dir`` (picked
@@ -198,6 +202,53 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list-compilers", help="show registered compiler configurations")
     subparsers.add_parser("list-backends", help="show registered execution backends")
 
+    workloads_parser = subparsers.add_parser(
+        "workloads", help="list registered workloads, or run one as a verified batch"
+    )
+    workloads_parser.add_argument(
+        "name", nargs="?", default=None, help="workload to run (omit to list all)"
+    )
+    workloads_parser.add_argument(
+        "--batch", type=int, default=8, help="input sets to execute"
+    )
+    workloads_parser.add_argument("--seed", type=int, default=0, help="base input seed")
+    workloads_parser.add_argument(
+        "--compiler", default=None, help="override the workload's default compiler"
+    )
+    workloads_parser.add_argument(
+        "--backend", default=None, help="override the workload's default backend"
+    )
+    workloads_parser.add_argument(
+        "--option",
+        action="append",
+        metavar="KEY=VALUE",
+        help="workload factory option (repeatable), e.g. size=16",
+    )
+
+    bench_workloads_parser = subparsers.add_parser(
+        "bench-workloads",
+        help="benchmark the workloads: direct vs server path + mixed traffic",
+    )
+    bench_workloads_parser.add_argument(
+        "--batch", type=int, default=16, help="input sets per workload row"
+    )
+    bench_workloads_parser.add_argument(
+        "--traffic-jobs", type=int, default=60, help="jobs in the mixed-traffic pass"
+    )
+    bench_workloads_parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop arrival rate in jobs/s (default: burst)",
+    )
+    bench_workloads_parser.add_argument("--seed", type=int, default=0)
+    bench_workloads_parser.add_argument(
+        "--workers", type=int, default=1, help="server worker threads"
+    )
+    bench_workloads_parser.add_argument(
+        "--out", default=None, help="also write the JSON payload to this path"
+    )
+
     serve_parser = subparsers.add_parser(
         "serve", help="run the job-orchestration server over a state directory"
     )
@@ -315,6 +366,61 @@ def main(argv: Optional[List[str]] = None) -> int:
             if row["use_when"]:
                 print(f"{'':<{width}}  (use when: {row['use_when']})")
         return 0
+
+    if args.command == "workloads":
+        if args.name is None:
+            rows = api.list_workloads()
+            width = max(len(row["name"]) for row in rows)
+            for row in rows:
+                defaults = f"[{row['suite']}] {row['compiler']} / {row['backend']}"
+                print(f"{row['name']:<{width}}  {defaults:<34} {row['description']}")
+            return 0
+        outcome = api.run_workload(
+            args.name,
+            batch=args.batch,
+            seed=args.seed,
+            compiler=args.compiler,
+            backend=args.backend,
+            **_parse_options(args.option),
+        )
+        batch = outcome.outcome
+        _print_report(batch.report, emit_seal=False)
+        print("  workload     :", outcome.workload.name, f"({outcome.workload.suite})")
+        print("  backend      :", batch.backend)
+        print(f"  batch size   : {batch.batch_size}")
+        print(f"  exec wall    : {batch.wall_time_s * 1000.0:.2f} ms "
+              f"({batch.throughput_per_s:.0f} input sets/s)")
+        if batch.verified:
+            print("  verified     :", "OK" if batch.all_correct else "MISMATCH")
+            print("  oracle       :", "OK" if outcome.oracle_correct else "MISMATCH")
+        else:
+            print("  verified     : skipped (backend produces no outputs)")
+        return 0 if batch.all_correct and outcome.oracle_correct else 1
+
+    if args.command == "bench-workloads":
+        from repro.workloads.traffic import (
+            benchmark_problems,
+            benchmark_workloads,
+            summarize_benchmark,
+        )
+
+        payload = benchmark_workloads(
+            batch=args.batch,
+            traffic_jobs=args.traffic_jobs,
+            rate=args.rate,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        for line in summarize_benchmark(payload):
+            print(line)
+        problems = benchmark_problems(payload)
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1 if problems else 0
 
     if args.command == "serve":
         server = api.serve(

@@ -8,8 +8,10 @@ objects::
     report = repro.compile("(* (+ a b) (+ c d))", compiler="greedy")
     outcome = repro.execute("(* (+ a b) (+ c d))", {"a": 1, "b": 2, "c": 3, "d": 4})
     batch = repro.execute_batch("(* (+ a b) (+ c d))", batch=32, backend="vector-vm")
+    run = repro.run_workload("nn-linear", batch=8)
     repro.list_compilers()
     repro.list_backends()
+    repro.list_workloads()
 
 Sources may be s-expression strings (the paper's textual IR), parsed
 :class:`~repro.ir.nodes.Expr` trees, or staged DSL
@@ -68,8 +70,13 @@ __all__ = [
     "compile_batch",
     "execute",
     "execute_batch",
+    "sample_named_inputs",
+    "derive_batch_seeds",
     "RunOutcome",
     "BatchRunOutcome",
+    "WorkloadRunOutcome",
+    "run_workload",
+    "list_workloads",
     "list_compilers",
     "describe_compiler",
     "list_backends",
@@ -264,6 +271,25 @@ def sample_named_inputs(
     return {name: int(rng.integers(0, input_range + 1)) for name in names}
 
 
+def derive_batch_seeds(seed: int, count: int) -> List[int]:
+    """``count`` decorrelated per-item seeds derived from one base seed.
+
+    The naive ``seed + offset`` scheme silently correlates adjacent batches:
+    ``seed=0, batch=32`` and ``seed=1, batch=32`` would share 31 of their 32
+    input sets.  Seeds are instead spawned through
+    :class:`numpy.random.SeedSequence`, whose hashing keeps every
+    ``(seed, offset)`` stream independent, so two base seeds never overlap.
+
+    Each derived seed still feeds :func:`sample_named_inputs` — the one
+    seed-to-inputs contract — so a server job submitted with a derived seed
+    executes bit-identical inputs to the facade batch item it came from.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [int(child.generate_state(1, np.uint32)[0]) for child in children]
+
+
 def _sample_inputs(expr: Expr, seed: int, input_range: int = 7) -> Dict[str, int]:
     return sample_named_inputs(variables(expr), seed, input_range)
 
@@ -349,8 +375,10 @@ def execute_batch(
     """Compile once and execute a whole batch of input sets.
 
     ``inputs`` is a sequence of input dicts; when omitted, ``batch`` input
-    sets are drawn deterministically from ``seed``, ``seed + 1``, ...,
-    uniformly over ``[0, input_range]`` per variable.  The batch executes
+    sets are drawn deterministically from per-item seeds spawned off
+    ``seed`` (:func:`derive_batch_seeds` — different base seeds never share
+    input sets), uniformly over ``[0, input_range]`` per variable.  The
+    batch executes
     through the backend's ``execute_many`` — one pass over the vector VM's
     instruction tape serves the entire batch — and each input set is
     verified against its own plaintext reference.
@@ -372,8 +400,8 @@ def execute_batch(
         if batch < 1:
             raise ValueError("batch must be at least 1")
         inputs_list = [
-            _sample_inputs(expr, seed=seed + offset, input_range=input_range)
-            for offset in range(batch)
+            _sample_inputs(expr, seed=item_seed, input_range=input_range)
+            for item_seed in derive_batch_seeds(seed, batch)
         ]
     else:
         inputs_list = [
@@ -596,6 +624,103 @@ def result(
         time.sleep(0.05)
         for fresh in store.poll():
             jobs[fresh.id] = fresh
+
+
+@dataclass
+class WorkloadRunOutcome:
+    """One registered workload run end to end: batch outcome + oracle check."""
+
+    #: The workload that ran (source, sampler, oracle, defaults).
+    workload: object
+    #: The underlying compile-once / execute-batch / verify outcome.
+    outcome: BatchRunOutcome
+    #: Expected outputs per input set, from the workload's oracle (falls
+    #: back to the plaintext reference when no independent oracle exists).
+    expected: List[List[int]]
+
+    @property
+    def oracle_correct(self) -> bool:
+        """True when every executed output matches the workload's oracle.
+
+        Vacuously true for accounting-only backends — check
+        ``outcome.verified`` to distinguish.
+        """
+        if not self.outcome.verified:
+            return True
+        return self.outcome.outputs == self.expected
+
+    @property
+    def all_correct(self) -> bool:
+        """Reference verification of the underlying batch outcome."""
+        return self.outcome.all_correct
+
+
+def run_workload(
+    workload: object,
+    *,
+    batch: int = 8,
+    seed: int = 0,
+    compiler: Union[str, CompilerSpec, object, None] = None,
+    backend: Union[str, BackendSpec, object, None] = None,
+    workers: int = 1,
+    cache: Optional[CompilationCache] = None,
+    cache_dir: Optional[str] = None,
+    **options: object,
+) -> WorkloadRunOutcome:
+    """Run one registered workload end to end and check it against its oracle.
+
+    ``workload`` is a registry name (``"dot-product"``; ``**options``
+    forward to the workload factory, e.g. ``size=16``) or a built
+    :class:`~repro.workloads.registry.Workload`.  The workload's default
+    compiler and backend apply unless overridden.  ``batch`` input sets are
+    sampled from per-item seeds spawned off ``seed``
+    (:func:`derive_batch_seeds`), executed through :func:`execute_batch`,
+    and compared against both the plaintext reference and the workload's
+    expected-output oracle.
+    """
+    from repro.workloads.registry import get_workload
+
+    resolved = get_workload(workload, **options)
+    inputs = [
+        sample_named_inputs(resolved.input_names, item_seed, resolved.input_range)
+        for item_seed in derive_batch_seeds(seed, batch)
+    ]
+    outcome = execute_batch(
+        resolved.source,
+        inputs=inputs,
+        compiler=compiler if compiler is not None else resolved.compiler,
+        backend=backend if backend is not None else resolved.backend,
+        name=resolved.name,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    expected = [resolved.expected(item) for item in inputs]
+    return WorkloadRunOutcome(workload=resolved, outcome=outcome, expected=expected)
+
+
+def list_workloads() -> List[Dict[str, object]]:
+    """Every registered workload: name, suite, description and defaults."""
+    from repro.workloads.registry import available_workloads, workload_info
+
+    rows = []
+    for workload_name in available_workloads():
+        info = workload_info(workload_name)
+        built = info.build()
+        rows.append(
+            {
+                "name": info.name,
+                "suite": info.suite or built.suite,
+                "description": info.description,
+                "circuit": built.name,
+                "inputs": len(built.input_names),
+                "input_range": built.input_range,
+                "compiler": built.compiler,
+                "backend": built.backend,
+                "has_oracle": built.oracle is not None,
+            }
+        )
+    return rows
 
 
 def list_compilers() -> List[Dict[str, str]]:

@@ -210,6 +210,20 @@ class BenchmarkRunner:
         """
         return self.run([benchmark])
 
+    def run_workloads(self, workloads: Iterable[object]) -> List[BenchmarkResult]:
+        """Run every configured compiler on registered workloads.
+
+        ``workloads`` holds registry names (``"dot-product"``) or built
+        :class:`~repro.workloads.registry.Workload` objects; each is adapted
+        to a :class:`Benchmark` (same seeded input sampling, same plaintext
+        reference) and run through the exact :meth:`run` path — including
+        ``server=`` load-generator routing when configured.
+        """
+        from repro.workloads.registry import get_workload
+
+        suite = [get_workload(workload).as_benchmark() for workload in workloads]
+        return self.run(suite)
+
     def run(self, benchmarks: Iterable[Benchmark]) -> List[BenchmarkResult]:
         """Run every compiler on every benchmark.
 

@@ -40,6 +40,7 @@ except ImportError:  # pragma: no cover
 
 LOG_NAME = "jobs.jsonl"
 LOCK_NAME = "jobs.jsonl.lock"
+GENERATION_NAME = "jobs.jsonl.gen"
 METRICS_NAME = "metrics.json"
 
 
@@ -56,6 +57,14 @@ class JobStore:
         self._lock = threading.Lock()
         #: Log byte offset up to which :meth:`poll` has already read.
         self._offset = 0
+        #: Identity ``(st_dev, st_ino, compaction generation)`` of the log
+        #: the offset belongs to.  Compaction atomically *replaces* the
+        #: log's inode, so a mere size comparison cannot tell "same log,
+        #: new appends" from "new log that regrew past my old offset"; the
+        #: generation counter (bumped by every :meth:`compact`) closes the
+        #: remaining ABA hole where a freed inode is reused by a later
+        #: compaction's temp file.
+        self._log_ident: Optional[Tuple[int, int, int]] = None
         #: In-memory record log standing in for the file when unrooted.
         self._memory: List[Dict[str, object]] = []
 
@@ -75,6 +84,20 @@ class JobStore:
         if self.state_dir is None:
             return None
         return os.path.join(self.state_dir, METRICS_NAME)
+
+    @property
+    def generation_path(self) -> Optional[str]:
+        if self.state_dir is None:
+            return None
+        return os.path.join(self.state_dir, GENERATION_NAME)
+
+    def _read_generation(self) -> int:
+        """The log's compaction generation (0 when never compacted)."""
+        try:
+            with open(self.generation_path, "r", encoding="utf-8") as handle:
+                return int(handle.read().strip() or 0)
+        except (OSError, ValueError):
+            return 0
 
     def _locked_file(self):
         """An exclusively flocked handle on the sidecar lock file.
@@ -125,11 +148,19 @@ class JobStore:
                     handle.write(payload)
                     handle.flush()
                     os.fsync(handle.fileno())
-                if self._offset == pre_size:
-                    # Nothing unread preceded our own records: fast-forward
-                    # the poll offset past them so the serving loop doesn't
-                    # re-scan its own appends forever.
-                    self._offset = pre_size + len(payload.encode("utf-8"))
+                    stat = os.fstat(handle.fileno())
+                ident = (stat.st_dev, stat.st_ino, self._read_generation())
+                if self._log_ident is None or ident == self._log_ident:
+                    if self._offset == pre_size:
+                        # Nothing unread preceded our own records:
+                        # fast-forward the poll offset past them so the
+                        # serving loop doesn't re-scan its own appends
+                        # forever.
+                        self._offset = pre_size + len(payload.encode("utf-8"))
+                    self._log_ident = ident
+                # else: another process compacted (replaced) the log since we
+                # last read it; keep the stale identity so the next poll
+                # notices the mismatch and re-reads from the start.
             finally:
                 if fcntl is not None:
                     fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
@@ -137,13 +168,27 @@ class JobStore:
 
     # -- reading ------------------------------------------------------------
     def _read_records(self, start: int = 0) -> Tuple[List[Dict[str, object]], int]:
-        """Records from byte/sequence offset ``start``, plus the new offset."""
+        """Records from byte/sequence offset ``start``, plus the new offset.
+
+        ``start`` is only honoured when the log file is still the one the
+        offset was taken against (same ``(st_dev, st_ino)`` identity).  A log
+        replaced by another process's compaction — even one that has since
+        regrown *past* ``start`` — is re-read from the beginning: records
+        fold newest-wins, so re-seeing old state is harmless, while seeking
+        into the middle of a record of the new log would drop or mis-parse
+        cross-process submissions.
+        """
         if self.state_dir is None:
             return list(self._memory[start:]), len(self._memory)
         path = self.log_path
         if not os.path.exists(path):
             return [], 0
         with open(path, "rb") as handle:
+            stat = os.fstat(handle.fileno())
+            ident = (stat.st_dev, stat.st_ino, self._read_generation())
+            if start and (ident != self._log_ident or stat.st_size < start):
+                start = 0
+            self._log_ident = ident
             handle.seek(start)
             data = handle.read()
         records: List[Dict[str, object]] = []
@@ -179,19 +224,14 @@ class JobStore:
 
         This is the server side of cross-process submission: clients append
         ``queued`` records, the serving loop polls them into its queue.  A
-        log that shrank since the last poll (another process compacted it)
-        is re-read from the start — records fold newest-wins, so re-seeing
-        old state is harmless while missing new state is not.
+        log whose file identity changed since the last poll (another process
+        compacted it — detected by inode, not size, so a log that regrew
+        past the saved offset is caught too) is re-read from the start —
+        records fold newest-wins, so re-seeing old state is harmless while
+        missing new state is not.
         """
         with self._lock:
-            start = self._offset
-            if (
-                self.state_dir is not None
-                and os.path.exists(self.log_path)
-                and os.path.getsize(self.log_path) < start
-            ):
-                start = 0
-            records, self._offset = self._read_records(start)
+            records, self._offset = self._read_records(self._offset)
         return [Job.from_record(record) for record in records]
 
     def compact(self, jobs: Iterable[Job]) -> None:
@@ -215,7 +255,19 @@ class JobStore:
                     handle.flush()
                     os.fsync(handle.fileno())
                 os.replace(tmp_path, self.log_path)
-                self._offset = os.path.getsize(self.log_path)
+                # Bump the compaction generation (atomic replace, same lock):
+                # even if a later compaction's temp file reuses this log's
+                # freed inode, readers still see the identity change.
+                generation = self._read_generation() + 1
+                gen_tmp = self.generation_path + ".tmp"
+                with open(gen_tmp, "w", encoding="utf-8") as handle:
+                    handle.write(f"{generation}\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(gen_tmp, self.generation_path)
+                stat = os.stat(self.log_path)
+                self._offset = stat.st_size
+                self._log_ident = (stat.st_dev, stat.st_ino, generation)
             finally:
                 if fcntl is not None:
                     fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)

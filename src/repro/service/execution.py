@@ -110,6 +110,13 @@ class ExecutionService:
     smoothing:
         EWMA factor for measured execution times (1.0 = keep only the latest
         measurement).
+    calibration_smoothing:
+        EWMA factor for the measured/model calibration ratio.  The ratio is
+        folded in only on a circuit's *first* measurement (re-measurements
+        of an already-timed circuit say nothing new about the model), so on
+        a long-running server it tracks the current timing regime instead of
+        being dominated by stale early history the way a pair of unbounded
+        running sums would be.
     max_measured:
         LRU capacity of the measured-time table.  A long-running server
         replays an unbounded stream of circuits through one service, so the
@@ -126,12 +133,15 @@ class ExecutionService:
         params: Optional[BFVParameters] = None,
         workers: int = 1,
         smoothing: float = 0.5,
+        calibration_smoothing: float = 0.25,
         max_measured: int = 1024,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if not 0.0 < smoothing <= 1.0:
             raise ValueError("smoothing must be in (0, 1]")
+        if not 0.0 < calibration_smoothing <= 1.0:
+            raise ValueError("calibration_smoothing must be in (0, 1]")
         if max_measured < 1:
             raise ValueError("max_measured must be at least 1")
         self.backend, self.spec = resolve_backend(backend)
@@ -139,14 +149,15 @@ class ExecutionService:
         self.params = params if params is not None else BFVParameters.default()
         self.workers = workers
         self.smoothing = smoothing
+        self.calibration_smoothing = calibration_smoothing
         self.max_measured = max_measured
         self._latency_model = LatencyModel(self.params)
         #: Measured per-input-set wall seconds, EWMA per circuit, bounded LRU.
         self._measured: "OrderedDict[str, float]" = OrderedDict()
         self._measured_lock = threading.Lock()
-        #: Running sums calibrating model estimates against real timers.
-        self._measured_total_s = 0.0
-        self._model_total_ms = 0.0
+        #: EWMA of the measured/model ratio, updated on first measurements
+        #: only; None until the first circuit has been timed.
+        self._calibration: Optional[float] = None
 
     # -- cache keys ---------------------------------------------------------
     def job_key(self, program: CircuitProgram) -> str:
@@ -175,8 +186,8 @@ class ExecutionService:
                 self._measured.move_to_end(key)  # LRU touch
                 return measured * 1000.0, "measured"
         model_ms = program.estimated_latency_ms(self._latency_model)
-        if self._model_total_ms > 0.0 and self._measured_total_s > 0.0:
-            calibration = (self._measured_total_s * 1000.0) / self._model_total_ms
+        calibration = self._calibration
+        if calibration is not None:
             return model_ms * calibration, "model"
         return model_ms, "model"
 
@@ -193,14 +204,27 @@ class ExecutionService:
             previous = self._measured.get(key)
             if previous is None:
                 self._measured[key] = per_item
+                # First measurement of this circuit: fold its measured/model
+                # ratio into the calibration EWMA.  Re-measurements are
+                # deliberately excluded — they carry no new information
+                # about the *model*, and folding them in would let a few
+                # hot circuits (or stale early history) dominate the ratio
+                # on a long-running server.
+                if model_ms > 0.0:
+                    ratio = (per_item * 1000.0) / model_ms
+                    if self._calibration is None:
+                        self._calibration = ratio
+                    else:
+                        beta = self.calibration_smoothing
+                        self._calibration = (
+                            beta * ratio + (1.0 - beta) * self._calibration
+                        )
             else:
                 alpha = self.smoothing
                 self._measured[key] = alpha * per_item + (1.0 - alpha) * previous
             self._measured.move_to_end(key)
             while len(self._measured) > self.max_measured:
                 self._measured.popitem(last=False)
-            self._measured_total_s += per_item
-            self._model_total_ms += model_ms
 
     @property
     def measured_circuits(self) -> int:

@@ -1,0 +1,150 @@
+"""Built-in workloads over the paper's kernel suites.
+
+Every kernel family the evaluation exercises, re-expressed as registered,
+parameterized end-to-end workloads: the Coyote suite (matrix multiply, Max,
+Sort), the Porcupine kernels (dot product, box blur, L2/Hamming distance)
+and polynomial **tree ensembles** — several :func:`~repro.kernels.trees`
+trees summed into one circuit, the classic shape of encrypted tree-ensemble
+inference.  Until now these kernels only ran through the experiment harness
+as pre-built :class:`~repro.kernels.registry.Benchmark` objects; as
+workloads they flow through ``repro.api`` and the job server exactly the
+way client-submitted s-expressions do.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from repro.workloads.registry import Workload, register_workload
+
+__all__ = [
+    "matrix_multiply_workload",
+    "max_tree_workload",
+    "sort_network_workload",
+    "dot_product_workload",
+    "box_blur_workload",
+    "l2_distance_workload",
+    "hamming_distance_workload",
+    "tree_ensemble_workload",
+]
+
+
+def _from_program(program, *, suite: str, input_range: int, compiler: str) -> Workload:
+    from repro.ir.printer import to_sexpr
+
+    return Workload(
+        name=program.name,
+        suite=suite,
+        source=to_sexpr(program.output_expr),
+        input_range=input_range,
+        compiler=compiler,
+    )
+
+
+# -- the Coyote suite -------------------------------------------------------
+@register_workload("matrix-multiply", suite="coyote")
+def matrix_multiply_workload(size: int = 3) -> Workload:
+    """Unrolled ``size x size`` encrypted matrix multiplication."""
+    from repro.kernels.coyote_suite import matrix_multiply
+
+    return _from_program(
+        matrix_multiply(size), suite="coyote", input_range=4, compiler="greedy"
+    )
+
+
+@register_workload("max-tree", suite="coyote")
+def max_tree_workload(size: int = 4) -> Workload:
+    """Tournament-style Max surrogate over ``size`` encrypted values."""
+    from repro.kernels.coyote_suite import max_tree
+
+    return _from_program(
+        max_tree(size), suite="coyote", input_range=4, compiler="greedy"
+    )
+
+
+@register_workload("sort-network", suite="coyote")
+def sort_network_workload(size: int = 3) -> Workload:
+    """Odd-even transposition Sort surrogate over ``size`` values."""
+    from repro.kernels.coyote_suite import sort_network
+
+    return _from_program(
+        sort_network(size), suite="coyote", input_range=3, compiler="greedy"
+    )
+
+
+# -- the Porcupine kernels --------------------------------------------------
+@register_workload("dot-product", suite="porcupine")
+def dot_product_workload(size: int = 8) -> Workload:
+    """Dot product of two encrypted ``size``-vectors."""
+    from repro.kernels.porcupine import dot_product
+
+    return _from_program(
+        dot_product(size), suite="porcupine", input_range=7, compiler="greedy"
+    )
+
+
+@register_workload("box-blur", suite="porcupine")
+def box_blur_workload(size: int = 3) -> Workload:
+    """``size x size`` box blur over an encrypted image patch."""
+    from repro.kernels.porcupine import box_blur
+
+    return _from_program(
+        box_blur(size), suite="porcupine", input_range=7, compiler="greedy"
+    )
+
+
+@register_workload("l2-distance", suite="porcupine")
+def l2_distance_workload(size: int = 4) -> Workload:
+    """Squared L2 distance between two encrypted ``size``-vectors."""
+    from repro.kernels.porcupine import l2_distance
+
+    return _from_program(
+        l2_distance(size), suite="porcupine", input_range=7, compiler="greedy"
+    )
+
+
+@register_workload("hamming-distance", suite="porcupine")
+def hamming_distance_workload(size: int = 4) -> Workload:
+    """Hamming distance between two encrypted binary ``size``-vectors."""
+    from repro.kernels.porcupine import hamming_distance
+
+    # input_range=1 keeps the sampled inputs binary, the kernel's contract.
+    return _from_program(
+        hamming_distance(size), suite="porcupine", input_range=1, compiler="greedy"
+    )
+
+
+# -- tree ensembles ---------------------------------------------------------
+@register_workload("tree-ensemble", suite="trees")
+def tree_ensemble_workload(
+    trees: int = 3,
+    fullness: int = 50,
+    homogeneity: int = 50,
+    depth: int = 4,
+    seed: int = 0,
+) -> Workload:
+    """``trees`` polynomial trees summed into one ensemble circuit.
+
+    Each member tree is generated with its own derived seed, so the
+    ensemble mixes tree shapes the way a trained forest mixes estimators;
+    the ensemble output is the sum of the member outputs (majority-vote
+    style aggregation in the arithmetic surrogate).
+    """
+    from repro.ir.nodes import Add
+    from repro.ir.printer import to_sexpr
+    from repro.kernels.trees import polynomial_tree
+
+    if trees < 1:
+        raise ValueError("tree-ensemble needs at least one tree")
+    members = [
+        polynomial_tree(fullness, homogeneity, depth, seed=seed * 1000 + index)
+        for index in range(trees)
+    ]
+    ensemble = reduce(Add, members)
+    return Workload(
+        name=f"tree_ensemble_{trees}x{depth}",
+        suite="trees",
+        source=to_sexpr(ensemble),
+        input_range=2,
+        compiler="initial",
+    )

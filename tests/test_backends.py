@@ -387,6 +387,73 @@ class TestExecutionService:
 
 
 # ---------------------------------------------------------------------------
+# calibration: EWMA of the measured/model ratio, first measurements only
+# ---------------------------------------------------------------------------
+class TestCalibrationRegime:
+    """Regression tests for the unbounded-drift bug: the calibration ratio
+    used to be a pair of forever-growing running sums, also fed by
+    re-measurements, so on a long-running server it was dominated by stale
+    early history.  Now it is an EWMA updated only on first measurements."""
+
+    @staticmethod
+    def _distinct_circuits(count):
+        compiler = build_compiler("initial")
+        return [
+            compiler.compile_expression(
+                api.to_expression(f"(+ a (* b {index + 1}))")[0], name=f"c{index}"
+            ).circuit
+            for index in range(count)
+        ]
+
+    def test_calibration_tracks_a_shifted_timing_regime(self, compiled_suite):
+        service = ExecutionService("vector-vm", params=PARAMS)
+        circuits = self._distinct_circuits(12)
+        probe = next(r for b, r in compiled_suite if b.name == "max_3").circuit
+        model_ms = {
+            c.name: c.estimated_latency_ms(service._latency_model) for c in circuits
+        }
+        # Early regime: measured times equal the model (ratio 1.0).
+        for circuit in circuits[:4]:
+            service.record_measurement(circuit, model_ms[circuit.name] / 1000.0, 1)
+        early, _ = service.estimate_ms(probe)
+        probe_model = probe.estimated_latency_ms(service._latency_model)
+        assert early == pytest.approx(probe_model, rel=0.05)
+        # Shifted regime: everything now runs 10x slower than the model.
+        for circuit in circuits[4:]:
+            service.record_measurement(
+                circuit, 10.0 * model_ms[circuit.name] / 1000.0, 1
+            )
+        late, _ = service.estimate_ms(probe)
+        # The EWMA forgets the early regime geometrically: after 8 first
+        # measurements at ratio 10, the estimate sits near 10x, not near the
+        # all-history average ((4*1 + 8*10)/12 = 7) and far from the early 1x.
+        assert late > 8.0 * probe_model
+        assert late <= 10.5 * probe_model
+
+    def test_remeasurement_does_not_move_the_calibration(self, compiled_suite):
+        service = ExecutionService("vector-vm", params=PARAMS)
+        (circuit,) = [c for c in self._distinct_circuits(1)]
+        model_s = circuit.estimated_latency_ms(service._latency_model) / 1000.0
+        probe = next(r for b, r in compiled_suite if b.name == "max_3").circuit
+        service.record_measurement(circuit, model_s, 1)
+        before, _ = service.estimate_ms(probe)
+        # Hammer the same circuit with wildly slower re-measurements: its own
+        # EWMA moves, the global calibration must not.
+        for _ in range(50):
+            service.record_measurement(circuit, 100.0 * model_s, 1)
+        after, _ = service.estimate_ms(probe)
+        assert after == pytest.approx(before)
+        measured_ms, source = service.estimate_ms(circuit)
+        assert source == "measured"
+        # ... while the circuit's own EWMA did converge on the slow timings.
+        assert measured_ms == pytest.approx(100.0 * model_s * 1000.0, rel=0.05)
+
+    def test_calibration_smoothing_validation(self):
+        with pytest.raises(ValueError, match="calibration_smoothing"):
+            ExecutionService("reference", calibration_smoothing=0.0)
+
+
+# ---------------------------------------------------------------------------
 # the api facade and CLI
 # ---------------------------------------------------------------------------
 class TestApiBackendSurface:

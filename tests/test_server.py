@@ -232,6 +232,67 @@ class TestJobStore:
         polled = {item.id for item in watcher.poll()}
         assert late.id in polled  # re-read from the start, nothing missed
 
+    def test_poll_detects_compaction_that_regrows_past_offset(self, tmp_path):
+        """A size-only shrink heuristic misses this: the external compaction
+        shrinks the log, but by the time the watcher polls, fresh appends
+        have regrown it past the watcher's saved offset — a seek there lands
+        in the middle of a record of the *new* log."""
+        watcher = JobStore(str(tmp_path))
+        writer = JobStore(str(tmp_path))
+        job = Job(source=SOURCE)
+        writer.append(job)
+        job.status = JobState.RUNNING
+        writer.append(job)
+        watcher.replay()  # offset at the 2-record end
+        job.status = JobState.COMPLETED
+        writer.compact([job])  # 1 record, different length than the prefix
+        late = [Job(source=SOURCE) for _ in range(3)]
+        for item in late:
+            writer.append(item)  # log is now longer than the saved offset
+        polled = {item.id for item in watcher.poll()}
+        assert all(item.id in polled for item in late)
+
+    def test_compaction_generation_counter_increments(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        job = Job(source=SOURCE)
+        store.append(job)
+        assert store._read_generation() == 0
+        store.compact([job])
+        assert store._read_generation() == 1
+        store.compact([job])
+        assert store._read_generation() == 2
+
+    def test_generation_change_alone_forces_reread(self, tmp_path):
+        """The inode-ABA case: if a later compaction's temp file reused the
+        watched log's freed inode, (st_dev, st_ino) alone would match — the
+        generation counter still flags the replacement."""
+        watcher = JobStore(str(tmp_path))
+        writer = JobStore(str(tmp_path))
+        job = Job(source=SOURCE)
+        writer.append(job)
+        watcher.replay()
+        with open(watcher.generation_path, "w", encoding="utf-8") as handle:
+            handle.write("7\n")  # same inode, bumped generation
+        late = Job(source=SOURCE)
+        writer.append(late)
+        polled = {item.id for item in watcher.poll()}
+        assert {job.id, late.id} <= polled  # re-read from the start
+
+    def test_append_after_external_compaction_is_not_skipped(self, tmp_path):
+        """Appending must not fast-forward the poll offset across a log that
+        another process replaced: the compacted records would be skipped."""
+        writer = JobStore(str(tmp_path))
+        compactor = JobStore(str(tmp_path))
+        job = Job(source=SOURCE)
+        writer.append(job)
+        writer.replay()  # writer has seen everything so far
+        foreign = Job(source=SOURCE)
+        compactor.compact([job, foreign])  # new inode, unseen by writer
+        own = Job(source=SOURCE)
+        writer.append(own)  # lands on the replaced log
+        polled = {item.id for item in writer.poll()}
+        assert foreign.id in polled  # the compacted-in job is still seen
+
     def test_read_only_access_does_not_create_state_dir(self, tmp_path):
         missing = tmp_path / "never-written"
         store = JobStore(str(missing))
@@ -381,6 +442,77 @@ class TestJobServer:
         # Both completed; the higher priority job started no later.
         assert fast.started_at <= slow.started_at
         assert fast.status is JobState.COMPLETED and slow.status is JobState.COMPLETED
+
+    def test_tick_interleaves_kinds_priorities_and_backends(self):
+        """One tick over compile + execute jobs spread across priorities and
+        both output-producing backends: everything terminal in that tick,
+        coalescing per backend, nothing merged across backends."""
+        server = make_server()
+        vm_jobs = [
+            Job(source=SOURCE, seed=seed, priority=seed % 3) for seed in range(4)
+        ]
+        ref_jobs = [
+            Job(source=SOURCE, seed=seed, backend="reference", priority=1)
+            for seed in range(2)
+        ]
+        other = Job(source="(+ (* a b) c)", seed=7, priority=2)
+        compiles = [
+            Job(source="(+ (* a b) c)", kind="compile", priority=5),
+            Job(source=SOURCE, kind="compile", priority=0),
+        ]
+        for job in [*vm_jobs, *ref_jobs, other, *compiles]:
+            server.submit(job)
+        processed = server.tick()
+        assert processed == 9
+        assert all(
+            job.status is JobState.COMPLETED
+            for job in [*vm_jobs, *ref_jobs, other, *compiles]
+        )
+        # Same source, different backends: two separate groups.
+        assert server.result(vm_jobs[0].id)["coalesced_batch"] == 4
+        assert server.result(ref_jobs[0].id)["coalesced_batch"] == 2
+        assert server.result(ref_jobs[0].id)["backend"] == "reference"
+        assert all(server.result(job.id)["correct"] for job in [*vm_jobs, *ref_jobs, other])
+        counters = server.telemetry.snapshot()["counters"]
+        assert counters["batches_total"] == 3  # SOURCE x 2 backends + other
+        assert counters["executions_total"] == 7
+        assert counters["jobs_completed"] == 9
+
+    def test_coalescing_never_reorders_across_priorities(self, compiled_kernels):
+        """Groups come back ordered by their first (highest-priority) member
+        and keep member order within the group, so coalescing merges equal
+        circuits without ever promoting low-priority work past distinct
+        high-priority work."""
+        _, shared = compiled_kernels["dot_product_4"]
+        _, distinct = compiled_kernels["l2_distance_4"]
+        high = Job(program=shared, priority=9)
+        middle = Job(program=distinct, priority=5)
+        low = Job(program=shared, priority=0)
+        entries = [  # already in queue (priority) order
+            (high, shared, [{"a": 1}], "vector-vm"),
+            (middle, distinct, [{"a": 2}], "vector-vm"),
+            (low, shared, [{"a": 3}], "vector-vm"),
+        ]
+        groups = coalesce(entries)
+        assert [group.jobs[0].id for group in groups] == [high.id, middle.id]
+        assert [job.id for job in groups[0].jobs] == [high.id, low.id]
+        assert groups[0].batched_inputs == [{"a": 1}, {"a": 3}]
+
+    def test_failed_then_retried_jobs_do_not_inflate_drain_count(self):
+        """drain() counts each job once, when it reaches a terminal state —
+        retried attempts are requeued, not counted."""
+        server = make_server()
+        good = [Job(source=SOURCE, seed=seed) for seed in range(3)]
+        flaky = Job(source=SOURCE, compiler="does-not-exist", max_retries=2)
+        for job in [*good, flaky]:
+            server.submit(job)
+        processed = server.drain()
+        assert processed == 4  # 3 completed + 1 failed, each counted once
+        counters = server.telemetry.snapshot()["counters"]
+        assert counters["jobs_retried"] == 2
+        assert counters["jobs_failed"] == 1
+        assert counters["jobs_completed"] == 3
+        assert flaky.attempts == 3
 
     def test_duplicate_submission_rejected(self):
         server = make_server()
