@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test benchmarks smoke bench-smoke bench-backends bench-server bench-workloads docs-check all
+.PHONY: test benchmarks smoke bench-smoke bench-backends bench-server bench-workloads bench-overload docs-check all
 
 # Tier-1 test suite (tests/ + benchmarks/ collected from the repo root).
 test:
@@ -13,15 +13,17 @@ benchmarks:
 
 # Fast CI smoke: tier-1 tests, a 2-worker compilation-service run, the
 # three-backend execution parity diff, the job-orchestration server
-# (mixed compile+execute workload, coalescing asserted via telemetry) and
-# the workload suite (mixed traffic over a persistent state dir,
-# bit-identical to the direct api path).
+# (mixed compile+execute workload, coalescing asserted via telemetry), the
+# workload suite (mixed traffic over a persistent state dir, bit-identical
+# to the direct api path) and the overload hardening (bounded queue sheds
+# under a burst while completing and accounting for every job).
 smoke:
 	$(PYTHON) -m pytest tests -x -q
 	$(PYTHON) scripts/service_smoke.py --workers 2
 	$(PYTHON) scripts/backend_smoke.py
 	$(PYTHON) scripts/server_smoke.py
 	$(PYTHON) scripts/workload_smoke.py
+	$(PYTHON) scripts/overload_smoke.py
 
 # Fig. 5 execution-time series driven through the batched vector VM.
 bench-smoke:
@@ -41,6 +43,13 @@ bench-server:
 # (rewrites BENCH_workloads.json).
 bench-workloads:
 	$(PYTHON) scripts/bench_workloads.py --check
+
+# Goodput under overload: hardened (bounded queue + SLOs + admission)
+# vs unbounded server at 0.5x/1x/2x measured capacity (rewrites
+# BENCH_overload.json; the bar is hardened 2x goodput within 15% of peak
+# with the top-priority p99 wait inside its SLO budget).
+bench-overload:
+	$(PYTHON) scripts/bench_overload.py --check
 
 # Fail when README / architecture code snippets no longer execute.
 docs-check:

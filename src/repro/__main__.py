@@ -277,6 +277,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop serving after this many seconds (default: until interrupted)",
     )
     serve_parser.add_argument("--cache-dir", default=None, help="compilation disk-cache directory")
+    serve_parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=None,
+        help="bound the queue; overflowing jobs are shed (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--per-priority-capacity",
+        type=int,
+        default=None,
+        help="bound each priority level separately (per-class backpressure)",
+    )
+    serve_parser.add_argument(
+        "--aging-interval",
+        type=float,
+        default=None,
+        help="seconds of waiting that raise a job's effective priority by one",
+    )
+    serve_parser.add_argument(
+        "--admission",
+        choices=("off", "shed", "downgrade"),
+        default="off",
+        help="admission control against the --slo wait budgets",
+    )
+    serve_parser.add_argument(
+        "--slo",
+        action="append",
+        metavar="PRIO=WAIT[:RUN]",
+        help="per-priority latency budget in seconds (repeatable), e.g. 1=0.5:2",
+    )
 
     submit_parser = subparsers.add_parser(
         "submit", help="queue a compile/execute job into a state directory"
@@ -423,6 +453,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1 if problems else 0
 
     if args.command == "serve":
+        slo = None
+        if args.slo:
+            from repro.server.telemetry import SLOPolicy
+
+            wait_budgets, run_budgets = {}, {}
+            for spec in args.slo:
+                key, _, budgets = spec.partition("=")
+                wait_part, _, run_part = budgets.partition(":")
+                wait_budgets[int(key)] = float(wait_part)
+                if run_part:
+                    run_budgets[int(key)] = float(run_part)
+            slo = SLOPolicy.from_budgets(wait_budgets, run_budgets)
         server = api.serve(
             args.state_dir,
             backend=args.backend,
@@ -430,6 +472,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers,
             cache_dir=args.cache_dir,
             poll_interval=args.poll_interval,
+            queue_capacity=args.queue_capacity,
+            per_priority_capacity=args.per_priority_capacity,
+            aging_interval_s=args.aging_interval,
+            slo=slo,
+            admission=args.admission,
             start=False,
         )
         try:

@@ -455,6 +455,11 @@ def serve(
     compile_workers: int = 1,
     cache_dir: Optional[str] = None,
     poll_interval: float = 0.05,
+    queue_capacity: Optional[int] = None,
+    per_priority_capacity: Optional[int] = None,
+    aging_interval_s: Optional[float] = None,
+    slo=None,
+    admission: str = "off",
     start: bool = True,
 ):
     """A :class:`~repro.server.server.JobServer` for this process.
@@ -465,6 +470,11 @@ def serve(
     default) the scheduling loop runs in a background thread — submit jobs
     and block on :func:`result`; with ``start=False`` drive it yourself via
     ``server.drain()`` / ``server.tick()``.
+
+    The overload knobs (``queue_capacity``, ``per_priority_capacity``,
+    ``aging_interval_s``, ``slo``, ``admission``) pass straight through to
+    :class:`~repro.server.server.JobServer`; their defaults keep the server
+    unbounded and admission-free.
     """
     from repro.server.server import JobServer
 
@@ -476,6 +486,11 @@ def serve(
         compile_workers=compile_workers,
         cache_dir=cache_dir,
         poll_interval=poll_interval,
+        queue_capacity=queue_capacity,
+        per_priority_capacity=per_priority_capacity,
+        aging_interval_s=aging_interval_s,
+        slo=slo,
+        admission=admission,
     )
     if start:
         server.start()
@@ -615,6 +630,8 @@ def result(
         job = jobs[job_id]
         if job.status is JobState.FAILED:
             raise RuntimeError(f"job {job_id} failed: {job.error}")
+        if job.status is JobState.SHED:
+            raise RuntimeError(f"job {job_id} was shed: {job.error}")
         if job.status is JobState.COMPLETED:
             return job.result or {}
         if not wait:

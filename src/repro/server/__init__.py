@@ -15,9 +15,13 @@ above the worker-level, timer-augmented LPT packing that
 * :mod:`repro.server.coalescer` — grouping of pending executions by circuit
   fingerprint so one backend batch serves N queued users;
 * :mod:`repro.server.telemetry` — counters / gauges / histograms with JSON
-  snapshot export;
+  snapshot export, bucket-interpolated percentiles, and the per-priority
+  SLO machinery (:class:`SLOPolicy` / :class:`SLOTracker`);
+* :mod:`repro.server.faults` — deterministic fault injection
+  (:class:`FaultInjector`) for the crash/corruption recovery tests;
 * :mod:`repro.server.server` — :class:`JobServer`, the orchestrator wiring
-  all of it to the compilation/execution services.
+  all of it to the compilation/execution services, with bounded-queue
+  shedding, priority aging and cost-aware admission control under overload.
 
 ``repro.api`` exposes the client surface (``serve`` / ``submit`` /
 ``status`` / ``result``) and ``python -m repro`` the matching CLI
@@ -25,6 +29,7 @@ above the worker-level, timer-augmented LPT packing that
 """
 
 from repro.server.coalescer import CoalescedGroup, coalesce
+from repro.server.faults import Fault, FaultInjector, InjectedFault
 from repro.server.jobs import (
     Job,
     JobState,
@@ -35,11 +40,23 @@ from repro.server.jobs import (
 from repro.server.queue import JobQueue
 from repro.server.server import JobServer
 from repro.server.store import JobStore
-from repro.server.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.server.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SLOClass,
+    SLOPolicy,
+    SLOTracker,
+    percentile_from_snapshot,
+)
 
 __all__ = [
     "CoalescedGroup",
     "coalesce",
+    "Fault",
+    "FaultInjector",
+    "InjectedFault",
     "Job",
     "JobState",
     "JobQueue",
@@ -49,6 +66,10 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SLOClass",
+    "SLOPolicy",
+    "SLOTracker",
+    "percentile_from_snapshot",
     "circuit_from_record",
     "circuit_to_record",
     "new_job_id",

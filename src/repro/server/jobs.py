@@ -10,9 +10,10 @@ everything the server needs to schedule, run, retry and persist it:
   ``seed``/``input_range`` pair to sample them from, or a pre-lowered
   :class:`~repro.compiler.circuit.CircuitProgram` (serialized instruction by
   instruction so it survives the JSONL store);
-* **lifecycle** — ``queued → running → completed | failed`` status,
-  attempt counting against ``max_retries``, and submit/start/finish
-  timestamps feeding the latency histograms;
+* **lifecycle** — ``queued → running → completed | failed`` status (plus
+  ``shed``, the terminal state overload protection rejects jobs into
+  without running them), attempt counting against ``max_retries``, and
+  submit/start/finish timestamps feeding the latency histograms;
 * **outcome** — a JSON-serializable ``result`` dict (outputs, latency,
   noise accounting, coalesced batch size) or an ``error`` string.
 
@@ -49,10 +50,14 @@ class JobState(str, enum.Enum):
     RUNNING = "running"
     COMPLETED = "completed"
     FAILED = "failed"
+    #: Rejected by overload protection (queue backpressure or admission
+    #: control) without ever running.  Terminal like FAILED, but cheap by
+    #: construction — a shed job never touched a compiler or backend.
+    SHED = "shed"
 
     @property
     def terminal(self) -> bool:
-        return self in (JobState.COMPLETED, JobState.FAILED)
+        return self in (JobState.COMPLETED, JobState.FAILED, JobState.SHED)
 
 
 _COUNTER = itertools.count()

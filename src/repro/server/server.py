@@ -24,6 +24,16 @@ re-enqueued, jobs caught ``running`` by a crash are retried), and a
 :class:`~repro.server.telemetry.MetricsRegistry` tracks counters, queue
 depth and latency histograms, snapshotted to ``metrics.json`` under the
 state directory.
+
+The server is overload-hardened: the queue can be bounded (total and
+per-priority), overflowing or over-budget arrivals are *shed* into a
+terminal ``SHED`` state instead of growing the backlog without bound,
+priority aging keeps low-priority jobs from starving, a declarative
+:class:`~repro.server.telemetry.SLOPolicy` drives per-priority latency
+tracking plus cost-aware admission control (drain-time estimates from the
+ExecutionService's timer-augmented EWMA weights), and a
+:class:`~repro.server.faults.FaultInjector` gives the recovery tests exact
+crash/slowdown/corruption injection points.
 """
 
 from __future__ import annotations
@@ -44,16 +54,28 @@ from repro.ir.evaluate import output_arity
 from repro.ir.nodes import Expr
 from repro.ir.parser import parse
 from repro.server.coalescer import CoalescedGroup, coalesce
+from repro.server.faults import FaultInjector
 from repro.server.jobs import Job, JobState
-from repro.server.queue import JobQueue
+from repro.server.queue import ESTIMATE_ATTR, JobQueue
 from repro.server.store import JobStore
-from repro.server.telemetry import MetricsRegistry
+from repro.server.telemetry import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    SLOPolicy,
+    SLOTracker,
+)
 from repro.api import sample_named_inputs
 from repro.service.cache import CompilationCache
 from repro.service.execution import ExecutionJob, ExecutionService
 from repro.service.service import CompilationService
 
 __all__ = ["JobServer"]
+
+#: How long a cached per-circuit service estimate stays fresh.  Admission
+#: control consults the estimate on every submit; recomputing the circuit
+#: fingerprint each time costs more than the submit itself under overload,
+#: and EWMA drift over a fraction of a second is noise at that decision.
+ESTIMATE_TTL_S = 0.25
 
 
 class JobServer:
@@ -78,6 +100,33 @@ class JobServer:
     poll_interval:
         Sleep of the background serving loop between empty ticks, and the
         cadence at which externally appended store records are picked up.
+    queue_capacity:
+        Bound on the total queue depth; overflowing pushes shed the
+        lowest-effective-priority job into the terminal ``SHED`` state
+        (None: unbounded, the pre-overload behaviour).
+    per_priority_capacity:
+        Bound per base-priority level (per-class backpressure): arrivals
+        into a full level are shed even while the queue has room overall.
+    aging_interval_s:
+        Seconds of queue wait that raise a job's effective priority by one
+        level, so sustained high-priority pressure cannot starve the
+        low-priority classes (None: no aging).
+    slo:
+        Declarative per-priority latency budgets
+        (:class:`~repro.server.telemetry.SLOPolicy`).  Always tracked
+        (per-priority histograms + violation counters); also the deadline
+        budgets admission control checks drain time against.
+    admission:
+        ``"off"`` (default) accepts everything the queue has room for;
+        ``"shed"`` rejects an arrival whose estimated drain time exceeds
+        its priority's wait budget; ``"downgrade"`` demotes such arrivals
+        to ``admission_floor`` priority (best effort, no deadline) instead
+        of rejecting them.
+    admission_floor:
+        The priority ``"downgrade"`` mode demotes to.
+    fault_injector:
+        Armed-trigger registry for the recovery tests
+        (:mod:`repro.server.faults`); shared with the job store.
     """
 
     def __init__(
@@ -92,12 +141,37 @@ class JobServer:
         cache_dir: Optional[str] = None,
         params: Optional[BFVParameters] = None,
         poll_interval: float = 0.05,
+        queue_capacity: Optional[int] = None,
+        per_priority_capacity: Optional[int] = None,
+        aging_interval_s: Optional[float] = None,
+        slo: Optional[SLOPolicy] = None,
+        admission: str = "off",
+        admission_floor: int = 0,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
-        self.store = JobStore(state_dir)
-        self.queue = JobQueue()
+        if admission not in ("off", "shed", "downgrade"):
+            raise ValueError("admission must be 'off', 'shed' or 'downgrade'")
+        self.faults = fault_injector if fault_injector is not None else FaultInjector()
+        self.store = JobStore(state_dir, fault_injector=self.faults)
+        self.queue = JobQueue(
+            queue_capacity,
+            per_priority_capacity=per_priority_capacity,
+            aging_interval_s=aging_interval_s,
+        )
         self.telemetry = MetricsRegistry()
+        self.slo = slo
+        self.admission = admission
+        self.admission_floor = admission_floor
+        self._slo_tracker = SLOTracker(slo, self.telemetry)
+        #: EWMA of observed per-job tick seconds: the admission fallback
+        #: weight for jobs whose circuit has no ExecutionService estimate
+        #: yet.  None until the first tick has measured anything.
+        self._service_s_ewma: Optional[float] = None
+        #: (circuit memo key, backend) -> (service estimate s, monotonic stamp).
+        self._estimate_cache: Dict[Tuple[object, str], Tuple[float, float]] = {}
+        self._store_skips_seen = 0
         self.default_backend = backend or default_backend_name()
         self.default_compiler = compiler
         self.workers = workers
@@ -130,12 +204,13 @@ class JobServer:
                 # Caught mid-run by a crash or kill: run it again.
                 job.status = JobState.QUEUED
                 self.store.append(job)
-                self.queue.push(job)
                 self.telemetry.counter("jobs_recovered").inc()
                 self._count_submission(job)
+                self._queue_push(job)
             elif job.status is JobState.QUEUED:
-                self.queue.push(job)
                 self._count_submission(job)
+                self._queue_push(job)
+        self._sync_store_skips()
         self._update_queue_depth()
 
     def _poll_store(self) -> int:
@@ -147,32 +222,159 @@ class JobServer:
                 if not known:
                     self._jobs[job.id] = job
             if not known and job.status is JobState.QUEUED:
-                self.queue.push(job)
                 self._count_submission(job)
+                reason = self._admit(job)
+                if reason is not None:
+                    self._shed(job, reason)
+                else:
+                    self._queue_push(job)
                 ingested += 1
+        self._sync_store_skips()
         if ingested:
             self._update_queue_depth()
         return ingested
+
+    def _sync_store_skips(self) -> None:
+        """Mirror the store's damaged-record tally into telemetry."""
+        skipped = self.store.skipped_records
+        delta = skipped - self._store_skips_seen
+        if delta > 0:
+            self.telemetry.counter("store_skipped_records").inc(delta)
+            self._store_skips_seen = skipped
 
     def _update_queue_depth(self) -> None:
         self.telemetry.gauge("queue_depth").set(len(self.queue))
 
     # -- client surface -----------------------------------------------------
     def submit(self, job: Job) -> str:
-        """Queue one job; returns its id immediately."""
+        """Queue one job; returns its id immediately.
+
+        Overload protection applies at this boundary: admission control may
+        shed (or downgrade) the job up front, and a bounded queue may shed
+        it — or a lower-effective-priority job it displaces — on overflow.
+        Shed jobs reach the terminal ``SHED`` state without running;
+        ``status``/``result`` surface it like any other outcome.
+        """
         with self._lock:
             if job.id in self._jobs:
                 raise ValueError(f"job id {job.id!r} was already submitted")
             self._jobs[job.id] = job
-        self.store.append(job)
-        self.queue.push(job)
         self._count_submission(job)
+        reason = self._admit(job)
+        if reason is not None:
+            self._shed(job, reason)
+            return job.id
+        self.store.append(job)
+        self._queue_push(job)
         self._update_queue_depth()
         return job.id
 
     def _count_submission(self, job: Job) -> None:
         self.telemetry.counter("jobs_submitted").inc()
         self.telemetry.counter(f"{job.kind}_jobs").inc()
+
+    # -- overload protection -------------------------------------------------
+    def _estimate_job_service_s(self, job: Job) -> float:
+        """Estimated service seconds for one job, cheapest source first.
+
+        Pre-lowered (or already-memoized) circuits go through the backend's
+        :meth:`~repro.service.execution.ExecutionService.estimate_ms` —
+        measured EWMA per circuit when it has run before, the calibrated
+        analytical model otherwise.  Unknown sources fall back to the
+        server-wide EWMA of per-job tick time (0 until the first tick, so a
+        cold server admits its warm-up traffic).
+        """
+        program = job.program
+        backend = job.backend or self.default_backend
+        cache_key = None
+        if program is None and job.source is not None:
+            memo_key = (
+                job.compiler or self.default_compiler,
+                tuple(sorted(job.compiler_options.items())),
+                job.source,
+            )
+            cache_key = (memo_key, backend)
+            cached = self._estimate_cache.get(cache_key)
+            if cached is not None and time.monotonic() - cached[1] < ESTIMATE_TTL_S:
+                return cached[0]
+            with self._lock:
+                hit = self._circuit_memo.get(memo_key)
+            if hit is not None:
+                program = hit[0]
+        if program is not None:
+            try:
+                service = self._execution_service(backend)
+                estimate_ms, _ = service.estimate_ms(program)
+            except Exception:
+                pass  # unknown backend etc.: the job will fail later anyway
+            else:
+                estimate = estimate_ms / 1000.0
+                if cache_key is not None:
+                    self._estimate_cache[cache_key] = (estimate, time.monotonic())
+                return estimate
+        return self._service_s_ewma or 0.0
+
+    def _admit(self, job: Job) -> Optional[str]:
+        """None to accept ``job``; otherwise the reason it must be shed.
+
+        ``"downgrade"`` mode demotes over-budget arrivals to the floor
+        priority (accepting them as best effort) and only sheds when the
+        job is already at or below the floor.
+        """
+        if self.admission == "off":
+            return None
+        if self.slo is None:
+            return None
+        budget = self.slo.wait_budget(job.priority)
+        if budget is None:
+            return None  # best-effort class: no deadline to protect
+        estimate = self._estimate_job_service_s(job)
+        setattr(job, ESTIMATE_ATTR, estimate)  # reused by _queue_push
+        backlog = self.queue.backlog_service_s(job.priority)
+        drain_s = (backlog + estimate) / max(1, self.workers)
+        if drain_s <= budget:
+            return None
+        if self.admission == "downgrade" and job.priority > self.admission_floor:
+            job.priority = self.admission_floor
+            self.telemetry.counter("jobs_downgraded").inc()
+            return None
+        self.telemetry.counter("admission_rejects").inc()
+        return (
+            f"admission control: estimated drain {drain_s:.3f}s exceeds "
+            f"wait budget {budget:.3f}s for priority {job.priority}"
+        )
+
+    def _queue_push(self, job: Job, sink: Optional[List[Dict[str, object]]] = None) -> None:
+        """Stamp the job's service estimate and push; shed any overflow victim."""
+        if getattr(job, ESTIMATE_ATTR, None) is None:
+            setattr(job, ESTIMATE_ATTR, self._estimate_job_service_s(job))
+        victim = self.queue.push(job)
+        if victim is not None:
+            self._shed(victim, "shed on overload: queue is full", sink)
+
+    def _shed(
+        self,
+        job: Job,
+        reason: str,
+        sink: Optional[List[Dict[str, object]]] = None,
+    ) -> None:
+        """Terminal-reject ``job``: it never ran and never will."""
+        job.status = JobState.SHED
+        job.error = reason
+        job.finished_at = time.time()
+        self.telemetry.counter("jobs_shed").inc()
+        record = job.to_record()
+        if sink is not None:
+            sink.append(record)
+        else:
+            self.store.append_record(record)
+        with self._job_done:
+            self._job_done.notify_all()
+
+    def slo_report(self) -> Dict[str, object]:
+        """Per-priority latency percentiles + violation counts (see
+        :meth:`~repro.server.telemetry.SLOTracker.report`)."""
+        return self._slo_tracker.report()
 
     def get(self, job_id: str) -> Job:
         with self._lock:
@@ -198,8 +400,8 @@ class JobServer:
 
         With ``wait=True`` blocks until the job reaches a terminal state
         (requires a running serving loop or a concurrent :meth:`drain`).
-        Raises :class:`RuntimeError` for failed jobs and :class:`TimeoutError`
-        when the wait lapses.
+        Raises :class:`RuntimeError` for failed and shed jobs and
+        :class:`TimeoutError` when the wait lapses.
         """
         job = self.get(job_id)
         if wait:
@@ -208,6 +410,8 @@ class JobServer:
                     raise TimeoutError(f"job {job_id} still {job.status.value} after {timeout}s")
         if job.status is JobState.FAILED:
             raise RuntimeError(f"job {job_id} failed: {job.error}")
+        if job.status is JobState.SHED:
+            raise RuntimeError(f"job {job_id} was shed: {job.error}")
         if job.status is not JobState.COMPLETED:
             raise RuntimeError(
                 f"job {job_id} is {job.status.value}; pass wait=True or drain() first"
@@ -300,18 +504,33 @@ class JobServer:
             job.attempts += 1
             job.started_at = now
             sink.append(job.to_record())
-            self.telemetry.histogram("job_wait_s").observe(now - job.submitted_at)
+            wait_s = now - job.submitted_at
+            self.telemetry.histogram("job_wait_s", bounds=LATENCY_BUCKETS).observe(wait_s)
+            self._slo_tracker.observe_wait(job.priority, wait_s)
 
         compile_jobs = [job for job in pending if job.kind == "compile"]
         execute_jobs = [job for job in pending if job.kind == "execute"]
         terminal = 0
         terminal += self._run_compile_jobs(compile_jobs, sink)
         terminal += self._run_execute_jobs(execute_jobs, sink)
+        #: Crash-before-commit injection point: everything above ran but
+        #: none of it is durable yet; a fault here models the process dying
+        #: with the store still saying "queued".
+        self.faults.fire("server.before_commit")
         self.store.append_records(sink)
 
         self.telemetry.gauge("jobs_running").set(0)
         self._update_queue_depth()
-        self.telemetry.histogram("tick_s").observe(time.perf_counter() - tick_start)
+        wall = time.perf_counter() - tick_start
+        self.telemetry.histogram("tick_s").observe(wall)
+        # Fold this tick's per-job wall time into the admission fallback
+        # weight (coalescing makes it an upper bound on marginal cost).
+        per_job = wall / len(pending)
+        self._service_s_ewma = (
+            per_job
+            if self._service_s_ewma is None
+            else 0.3 * per_job + 0.7 * self._service_s_ewma
+        )
         return terminal
 
     # -- compilation --------------------------------------------------------
@@ -439,6 +658,8 @@ class JobServer:
                 for group in backend_groups
             ]
             try:
+                self.faults.fire("server.slow_worker")
+                self.faults.fire("server.mid_batch")
                 batch = service.run_jobs(exec_jobs)
             except Exception as error:
                 for group in backend_groups:
@@ -518,9 +739,9 @@ class JobServer:
             job.error = None  # clear any earlier retried-attempt message
         job.finished_at = time.time()
         if job.started_at is not None:
-            self.telemetry.histogram("job_run_s").observe(
-                job.finished_at - job.started_at
-            )
+            run_s = job.finished_at - job.started_at
+            self.telemetry.histogram("job_run_s", bounds=LATENCY_BUCKETS).observe(run_s)
+            self._slo_tracker.observe_run(job.priority, run_s)
         self.telemetry.counter(
             "jobs_completed" if status is JobState.COMPLETED else "jobs_failed"
         ).inc()

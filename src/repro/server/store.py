@@ -20,6 +20,13 @@ file on POSIX (not on the log itself, whose inode compaction replaces), so
 concurrent client submissions interleave whole records and can never land
 on an orphaned inode; :meth:`JobStore.compact` rewrites the log to one
 record per job.
+
+Recovery is hardened against damaged logs: torn (half-written) and corrupt
+records are skipped and tallied in :attr:`JobStore.skipped_records` rather
+than crashing replay, appends seal a torn tail with a newline before
+writing so new records never concatenate into old garbage, and the
+:mod:`repro.server.faults` hooks let tests inject exactly those damage
+modes.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import os
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.server.faults import InjectedFault
 from repro.server.jobs import Job
 
 __all__ = ["JobStore"]
@@ -52,8 +60,17 @@ class JobStore:
     create directories as a side effect of a mistyped path.
     """
 
-    def __init__(self, state_dir: Optional[str] = None) -> None:
+    def __init__(
+        self, state_dir: Optional[str] = None, *, fault_injector: Optional[object] = None
+    ) -> None:
         self.state_dir = os.path.abspath(state_dir) if state_dir else None
+        #: Armed-trigger registry for the recovery tests (see
+        #: :mod:`repro.server.faults`); None in production use.
+        self.faults = fault_injector
+        #: Unparseable log records skipped so far by this store instance —
+        #: torn (half-written) appends and corrupt (bit-rotted) lines.  The
+        #: server mirrors this into the ``store_skipped_records`` counter.
+        self.skipped_records = 0
         self._lock = threading.Lock()
         #: Log byte offset up to which :meth:`poll` has already read.
         self._offset = 0
@@ -138,12 +155,37 @@ class JobStore:
                 return
             lock_handle = self._locked_file()
             try:
+                fault = self.faults.fire("store.append") if self.faults is not None else None
+                if fault is not None and fault.payload == "corrupt":
+                    # Bit rot at write time: scramble the first record's
+                    # bytes but keep the newline framing and keep going —
+                    # the record must be *skipped* on replay, not crash it.
+                    lines[0] = lines[0][: max(1, len(lines[0]) // 2)] + "#corrupt#"
                 payload = "".join(line + "\n" for line in lines)
                 pre_size = (
                     os.path.getsize(self.log_path)
                     if os.path.exists(self.log_path)
                     else 0
                 )
+                if pre_size:
+                    # Seal a torn tail (a previous writer crashed mid-record)
+                    # with its own newline, so our records start on a fresh
+                    # line instead of concatenating into the garbage.
+                    with open(self.log_path, "rb") as check:
+                        check.seek(pre_size - 1)
+                        if check.read(1) != b"\n":
+                            payload = "\n" + payload
+                if fault is not None and fault.payload == "torn":
+                    # Crash mid-write: the batch's final record is cut in
+                    # half and never gets its newline, then the "process"
+                    # dies before returning.
+                    data = payload.encode("utf-8")
+                    cut = len(data) - (len(lines[-1].encode("utf-8")) // 2 + 1)
+                    with open(self.log_path, "ab") as handle:
+                        handle.write(data[: max(1, cut)])
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    raise InjectedFault("simulated crash mid-append (torn record)")
                 with open(self.log_path, "a", encoding="utf-8") as handle:
                     handle.write(payload)
                     handle.flush()
@@ -167,7 +209,9 @@ class JobStore:
                 lock_handle.close()
 
     # -- reading ------------------------------------------------------------
-    def _read_records(self, start: int = 0) -> Tuple[List[Dict[str, object]], int]:
+    def _read_records(
+        self, start: int = 0, *, count_partial_tail: bool = False
+    ) -> Tuple[List[Dict[str, object]], int]:
         """Records from byte/sequence offset ``start``, plus the new offset.
 
         ``start`` is only honoured when the log file is still the one the
@@ -177,6 +221,15 @@ class JobStore:
         fold newest-wins, so re-seeing old state is harmless, while seeking
         into the middle of a record of the new log would drop or mis-parse
         cross-process submissions.
+
+        Unparseable lines (a record torn in half by a crashed writer, a
+        corrupt line from bit rot) are *skipped* and tallied in
+        :attr:`skipped_records` — one bad record must never take down
+        recovery, and the log folds newest-wins so skipping one state
+        transition at worst re-runs a job.  With ``count_partial_tail``
+        (the full-log replay), trailing bytes without a newline are counted
+        as a torn record too; incremental polls leave them uncounted since
+        they may be a concurrent append still in flight.
         """
         if self.state_dir is None:
             return list(self._memory[start:]), len(self._memory)
@@ -196,13 +249,25 @@ class JobStore:
         for raw in data.split(b"\n"):
             advance = len(raw) + 1
             if consumed + advance > len(data):
-                # Trailing bytes without a newline: a concurrent append is
-                # mid-write; leave them for the next poll.
+                # Trailing bytes without a newline: either a concurrent
+                # append mid-write (leave them for the next poll) or, on a
+                # full replay after a crash, a torn final record.
+                if count_partial_tail and raw.strip():
+                    self.skipped_records += 1
                 break
             consumed += advance
             raw = raw.strip()
-            if raw:
-                records.append(json.loads(raw.decode("utf-8")))
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                self.skipped_records += 1
+                continue
+            if not isinstance(record, dict) or "id" not in record:
+                self.skipped_records += 1
+                continue
+            records.append(record)
         return records, start + consumed
 
     def replay(self) -> Dict[str, Job]:
@@ -212,7 +277,7 @@ class JobStore:
         a subsequent :meth:`poll` only sees records appended afterwards.
         """
         with self._lock:
-            records, offset = self._read_records(0)
+            records, offset = self._read_records(0, count_partial_tail=True)
             self._offset = offset
         jobs: Dict[str, Job] = {}
         for record in records:

@@ -10,12 +10,20 @@ three instrument kinds in the Prometheus mould:
   (``jobs_completed``, ``batches_coalesced``);
 * :class:`Gauge` — last-written point-in-time values (``queue_depth``);
 * :class:`Histogram` — observation distributions over fixed log-scale
-  buckets plus count/sum/min/max (``job_run_s``, ``job_wait_s``).
+  buckets plus count/sum/min/max (``job_run_s``, ``job_wait_s``), with
+  :meth:`Histogram.percentile` interpolating p50/p99 estimates out of the
+  buckets (error bounded by the width of the containing bucket).
 
 :meth:`MetricsRegistry.snapshot` renders everything as one plain dict (JSON
 serializable by construction), and :meth:`MetricsRegistry.write_snapshot`
 atomically persists it — the ``repro metrics`` CLI reads that file, and the
 server smoke asserts coalescing happened from the same snapshot.
+
+Serving SLOs live here too: :class:`SLOPolicy` declares per-priority wait /
+run latency budgets, and :class:`SLOTracker` folds every observation into
+per-priority histograms (``job_wait_s_p{n}``, ``job_run_s_p{n}``) plus
+``slo_violations`` counters, all inside an ordinary registry so snapshots
+and the CLI need no new machinery.
 """
 
 from __future__ import annotations
@@ -25,9 +33,19 @@ import math
 import os
 import tempfile
 import threading
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SLOClass",
+    "SLOPolicy",
+    "SLOTracker",
+    "percentile_from_snapshot",
+]
 
 #: Default histogram bucket upper bounds (seconds): log-scale from 100µs up.
 DEFAULT_BUCKETS = (
@@ -39,6 +57,90 @@ DEFAULT_BUCKETS = (
     10.0,
     100.0,
 )
+
+#: Finer latency bounds for the SLO-facing wait/run histograms: percentile
+#: estimates interpolate inside one bucket, so the buckets around realistic
+#: serving latencies (1ms..10s) are kept narrow enough for p99 checks.
+LATENCY_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    100.0,
+)
+
+
+def _bucket_percentile(
+    bounds: Sequence[float],
+    buckets: Sequence[int],
+    count: int,
+    minimum: float,
+    maximum: float,
+    q: float,
+) -> float:
+    """Percentile ``q`` interpolated from cumulative-style bucket counts.
+
+    The estimate is linear within the containing bucket and clamped to the
+    observed ``[min, max]``, so its error is bounded by that bucket's width
+    (the unit tests pin exactly this bound).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("percentile q must be in [0, 1]")
+    if count <= 0:
+        return 0.0
+    if q <= 0.0:
+        return minimum
+    if q >= 1.0:
+        return maximum
+    rank = q * count
+    cumulative = 0.0
+    for index, bucket_count in enumerate(buckets):
+        if bucket_count <= 0:
+            continue
+        if cumulative + bucket_count >= rank:
+            lo = bounds[index - 1] if index > 0 else minimum
+            hi = bounds[index] if index < len(bounds) else maximum
+            lo = max(lo, minimum)
+            hi = min(hi, maximum)
+            if hi <= lo:
+                return lo
+            fraction = (rank - cumulative) / bucket_count
+            return lo + fraction * (hi - lo)
+        cumulative += bucket_count
+    return maximum
+
+
+def percentile_from_snapshot(payload: Mapping[str, object], q: float) -> float:
+    """Percentile ``q`` from one histogram dict of a telemetry snapshot.
+
+    Accepts exactly what :meth:`Histogram.as_dict` (and therefore
+    ``metrics.json`` / ``TrafficReport.telemetry``) produce, so consumers of
+    persisted snapshots share the same interpolation as live histograms.
+    """
+    if not payload:
+        return 0.0
+    raw = payload.get("buckets", {})
+    bounds = sorted(float(key[3:]) for key in raw if key.startswith("le_"))
+    buckets = [int(raw.get(f"le_{bound:g}", 0)) for bound in bounds]
+    buckets.append(int(raw.get("overflow", 0)))
+    return _bucket_percentile(
+        bounds,
+        buckets,
+        int(payload.get("count", 0)),
+        float(payload.get("min", 0.0)),
+        float(payload.get("max", 0.0)),
+        q,
+    )
 
 
 class Counter:
@@ -143,6 +245,23 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Percentile ``q`` (in ``[0, 1]``) interpolated from the buckets.
+
+        Linear within the containing bucket, clamped to the observed
+        ``[min, max]`` — so the estimate is never off by more than the width
+        of that bucket, which is the bound the unit tests pin.
+        """
+        with self._lock:
+            return _bucket_percentile(
+                self.bounds,
+                self._buckets,
+                self._count,
+                self._min if self._count else 0.0,
+                self._max if self._count else 0.0,
+                q,
+            )
+
     def as_dict(self) -> Dict[str, object]:
         with self._lock:
             buckets: Dict[str, int] = {}
@@ -157,6 +276,148 @@ class Histogram:
                 "max": self._max if self._count else 0.0,
                 "buckets": buckets,
             }
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """The latency budgets of one priority level."""
+
+    priority: int
+    #: Queue-wait budget in seconds (None: this class has no wait SLO).
+    max_wait_s: Optional[float] = None
+    #: Service-time budget in seconds (None: no run SLO).
+    max_run_s: Optional[float] = None
+    #: The percentile the SLO is declared over (reporting/benchmark checks;
+    #: the violation counters count every individual budget overshoot).
+    percentile: float = 0.99
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "priority": self.priority,
+            "max_wait_s": self.max_wait_s,
+            "max_run_s": self.max_run_s,
+            "percentile": self.percentile,
+        }
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """A declarative set of per-priority latency SLOs.
+
+    Priorities not named by any class carry no SLO: their latencies are
+    still tracked per priority, but nothing counts as a violation and the
+    admission controller treats them as best-effort (no deadline budget).
+    """
+
+    classes: Tuple[SLOClass, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "classes", tuple(self.classes))
+        priorities = [slo.priority for slo in self.classes]
+        if len(priorities) != len(set(priorities)):
+            raise ValueError("SLOPolicy has duplicate priority classes")
+
+    @classmethod
+    def from_budgets(
+        cls,
+        wait: Mapping[int, float],
+        run: Optional[Mapping[int, float]] = None,
+        *,
+        percentile: float = 0.99,
+    ) -> "SLOPolicy":
+        """Build a policy from ``{priority: budget_seconds}`` mappings."""
+        run = run or {}
+        priorities = sorted(set(wait) | set(run), reverse=True)
+        return cls(
+            tuple(
+                SLOClass(
+                    priority=priority,
+                    max_wait_s=wait.get(priority),
+                    max_run_s=run.get(priority),
+                    percentile=percentile,
+                )
+                for priority in priorities
+            )
+        )
+
+    def class_for(self, priority: int) -> Optional[SLOClass]:
+        for slo in self.classes:
+            if slo.priority == priority:
+                return slo
+        return None
+
+    def wait_budget(self, priority: int) -> Optional[float]:
+        slo = self.class_for(priority)
+        return slo.max_wait_s if slo is not None else None
+
+    def run_budget(self, priority: int) -> Optional[float]:
+        slo = self.class_for(priority)
+        return slo.max_run_s if slo is not None else None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"classes": [slo.as_dict() for slo in self.classes]}
+
+
+class SLOTracker:
+    """Per-priority latency tracking + violation counting over a registry.
+
+    Every observation lands in a per-priority histogram
+    (``job_wait_s_p{n}`` / ``job_run_s_p{n}``, :data:`LATENCY_BUCKETS`
+    bounds so p99 interpolation stays tight) and, when the policy declares a
+    budget for that priority and the observation overshoots it, bumps
+    ``slo_violations`` plus the per-priority breakdown counter.  All
+    instruments live in the caller's registry: snapshots, ``metrics.json``
+    and the CLI see SLO state with no extra plumbing.
+    """
+
+    def __init__(self, policy: Optional[SLOPolicy], registry: MetricsRegistry) -> None:
+        self.policy = policy or SLOPolicy()
+        self.registry = registry
+
+    def _observe(
+        self, kind: str, priority: int, value: float, budget: Optional[float]
+    ) -> bool:
+        self.registry.histogram(
+            f"job_{kind}_s_p{priority}", bounds=LATENCY_BUCKETS
+        ).observe(value)
+        if budget is None or value <= budget:
+            return False
+        self.registry.counter("slo_violations").inc()
+        self.registry.counter(f"slo_violations_{kind}_p{priority}").inc()
+        return True
+
+    def observe_wait(self, priority: int, wait_s: float) -> bool:
+        """Record one queue wait; True when it violated the wait budget."""
+        return self._observe("wait", priority, wait_s, self.policy.wait_budget(priority))
+
+    def observe_run(self, priority: int, run_s: float) -> bool:
+        """Record one service time; True when it violated the run budget."""
+        return self._observe("run", priority, run_s, self.policy.run_budget(priority))
+
+    def report(self) -> Dict[str, object]:
+        """Per-priority percentile estimates + violation counts."""
+        rows: Dict[str, object] = {}
+        for slo in self.policy.classes:
+            wait = self.registry.histogram(
+                f"job_wait_s_p{slo.priority}", bounds=LATENCY_BUCKETS
+            )
+            run = self.registry.histogram(
+                f"job_run_s_p{slo.priority}", bounds=LATENCY_BUCKETS
+            )
+            rows[str(slo.priority)] = {
+                "slo": slo.as_dict(),
+                "wait_p50_s": wait.percentile(0.5),
+                "wait_p99_s": wait.percentile(slo.percentile),
+                "run_p50_s": run.percentile(0.5),
+                "run_p99_s": run.percentile(slo.percentile),
+                "violations_wait": self.registry.counter(
+                    f"slo_violations_wait_p{slo.priority}"
+                ).value,
+                "violations_run": self.registry.counter(
+                    f"slo_violations_run_p{slo.priority}"
+                ).value,
+            }
+        return rows
 
 
 class MetricsRegistry:

@@ -14,7 +14,16 @@ down both execution paths:
   run-latency histograms, coalescing rates;
 * :func:`run_direct_traffic` — the same arrivals through direct
   ``api.execute_batch`` calls, one batch per (workload, compiler, backend)
-  group.
+  group;
+* :func:`run_closed_loop_traffic` — closed-loop sessions: concurrent users
+  with exponential think times and a bounded number of in-flight jobs each,
+  the regime interactive clients impose.
+
+For overload studies, :func:`generate_overload_schedule` scales an arrival
+rate to a deliberate multiple of measured capacity, and
+:class:`TrafficReport` separates *goodput* (SLO-meeting completions per
+second) from raw throughput, counting shed and failed jobs explicitly —
+the axes ``scripts/bench_overload.py`` plots shedding on/off against.
 
 Because both paths draw inputs from the same per-arrival seeds through
 :func:`~repro.api.sample_named_inputs`, their outputs must be
@@ -24,6 +33,7 @@ exactly that.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -36,10 +46,14 @@ __all__ = [
     "MixEntry",
     "Arrival",
     "TrafficReport",
+    "ClosedLoopConfig",
     "default_mix",
+    "overload_mix",
     "generate_schedule",
+    "generate_overload_schedule",
     "run_server_traffic",
     "run_direct_traffic",
+    "run_closed_loop_traffic",
     "benchmark_workloads",
     "summarize_benchmark",
     "benchmark_problems",
@@ -110,12 +124,28 @@ class TrafficReport:
     oracle_mismatches: List[int] = field(default_factory=list)
     #: Server telemetry snapshot (empty on the direct path).
     telemetry: Dict[str, object] = field(default_factory=dict)
+    #: Terminal-status counts (direct-path jobs always complete).
+    completed: int = 0
+    shed: int = 0
+    failed: int = 0
+    #: Completed jobs whose queue wait met their priority's SLO budget.
+    #: ``None`` when the run had no SLO policy in force.
+    slo_ok: Optional[int] = None
 
     @property
     def throughput_jobs_per_s(self) -> float:
         if self.wall_s <= 0.0:
             return 0.0
         return self.jobs / self.wall_s
+
+    @property
+    def goodput_jobs_per_s(self) -> float:
+        """Useful completions per second: SLO-meeting ones under a policy,
+        all completions otherwise.  Shed and failed jobs never count."""
+        if self.wall_s <= 0.0:
+            return 0.0
+        good = self.completed if self.slo_ok is None else self.slo_ok
+        return good / self.wall_s
 
     @property
     def coalescing(self) -> Dict[str, float]:
@@ -142,15 +172,30 @@ class TrafficReport:
             "jobs": self.jobs,
             "wall_s": self.wall_s,
             "throughput_jobs_per_s": self.throughput_jobs_per_s,
+            "goodput_jobs_per_s": self.goodput_jobs_per_s,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed": self.failed,
             "correct": self.correct,
             "verified_jobs": self.verified_jobs,
             "per_workload": dict(sorted(self.per_workload.items())),
             "oracle_mismatches": list(self.oracle_mismatches),
         }
+        if self.slo_ok is not None:
+            payload["slo_ok"] = self.slo_ok
         if self.telemetry:
+            from repro.server.telemetry import percentile_from_snapshot
+
             payload["coalescing"] = self.coalescing
             payload["wait_histogram_s"] = self.histogram("job_wait_s")
             payload["run_histogram_s"] = self.histogram("job_run_s")
+            for stem in ("wait", "run"):
+                snapshot = payload[f"{stem}_histogram_s"]
+                if snapshot:
+                    for q in (0.50, 0.99):
+                        payload[f"{stem}_p{int(q * 100)}_s"] = (
+                            percentile_from_snapshot(snapshot, q)
+                        )
         return payload
 
 
@@ -172,6 +217,20 @@ def default_mix() -> List[MixEntry]:
         MixEntry("tree-ensemble", weight=1.0, options=(("depth", 3), ("trees", 2))),
         MixEntry("nn-linear", weight=2.0, priority=1),
         MixEntry("max-tree", weight=1.0, priority=1),
+    ]
+
+
+def overload_mix() -> List[MixEntry]:
+    """A mix tuned for overload experiments: small, fast kernels so the
+    bench can push the server far past capacity quickly, with a clearly
+    separated top-priority class whose SLO the hardened server must keep
+    while it sheds the background classes."""
+    return [
+        MixEntry("dot-product", weight=4.0),
+        MixEntry("l2-distance", weight=2.0),
+        MixEntry("hamming-distance", weight=2.0),
+        MixEntry("nn-linear", weight=1.0, priority=2),
+        MixEntry("max-tree", weight=1.0, priority=2),
     ]
 
 
@@ -230,6 +289,31 @@ def generate_schedule(
     return schedule
 
 
+def generate_overload_schedule(
+    mix: Sequence[MixEntry],
+    jobs: int,
+    *,
+    capacity_jobs_per_s: float,
+    overload_factor: float = 2.0,
+    seed: int = 0,
+) -> List[Arrival]:
+    """An open-loop schedule arriving at a multiple of measured capacity.
+
+    ``capacity_jobs_per_s`` is the server's measured service rate (e.g. a
+    burst drain timed by the bench) and ``overload_factor`` how far past it
+    to push: 2.0 offers twice what the server can drain, so an unbounded
+    queue grows without limit while a hardened one sheds.  Factors below
+    1.0 are allowed — the bench uses them for the underload control rows.
+    """
+    if capacity_jobs_per_s <= 0.0:
+        raise ValueError("capacity_jobs_per_s must be positive")
+    if overload_factor <= 0.0:
+        raise ValueError("overload_factor must be positive")
+    return generate_schedule(
+        mix, jobs, seed=seed, rate=capacity_jobs_per_s * overload_factor
+    )
+
+
 def _finalize(
     report: TrafficReport, schedule: Sequence[Arrival], check_oracle: bool
 ) -> TrafficReport:
@@ -267,8 +351,15 @@ def run_server_traffic(
     deterministic mode the smoke tests assert coalescing on.  Pass an
     existing ``server`` to reuse one (it is left running); otherwise one is
     created over ``state_dir`` and closed before returning.
+
+    The collector tolerates overload: jobs the server shed (bounded queue
+    or admission control) or failed are counted in ``TrafficReport.shed`` /
+    ``.failed`` with empty outputs, and when the server carries an
+    :class:`~repro.server.telemetry.SLOPolicy`, completions are scored
+    against their priority's wait budget into ``slo_ok`` — the numerator of
+    ``goodput_jobs_per_s``.
     """
-    from repro.server.jobs import Job
+    from repro.server.jobs import Job, JobState
     from repro.server.server import JobServer
 
     owned = server is None
@@ -305,7 +396,10 @@ def run_server_traffic(
             )
         if open_loop:
             for job_id in job_ids:
-                server.result(job_id, wait=True, timeout=result_timeout)
+                try:
+                    server.result(job_id, wait=True, timeout=result_timeout)
+                except RuntimeError:
+                    pass  # shed or failed: classified below by status
             server.stop()
         else:
             server.drain()
@@ -319,7 +413,24 @@ def run_server_traffic(
             verified_jobs=0,
             telemetry=server.telemetry.snapshot(),
         )
+        policy = getattr(server, "slo", None)
+        slo_ok = 0 if policy is not None else None
         for job_id in job_ids:
+            job = server.get(job_id)
+            if job.status is JobState.SHED:
+                report.shed += 1
+                report.outputs.append([])
+                continue
+            if job.status is not JobState.COMPLETED:
+                report.failed += 1
+                report.outputs.append([])
+                continue
+            report.completed += 1
+            if policy is not None:
+                budget = policy.wait_budget(job.priority)
+                wait_s = (job.started_at or job.submitted_at) - job.submitted_at
+                if budget is None or wait_s <= budget:
+                    slo_ok += 1
             payload = server.result(job_id)
             outputs = payload.get("outputs") or [[]]
             report.outputs.append(list(outputs[0]))
@@ -327,6 +438,7 @@ def run_server_traffic(
                 report.verified_jobs += 1
                 if payload.get("correct", False):
                     report.correct += 1
+        report.slo_ok = slo_ok
     finally:
         if owned:
             server.close()
@@ -382,8 +494,194 @@ def run_direct_traffic(
         correct=correct,
         verified_jobs=verified_jobs,
         outputs=outputs,
+        completed=len(schedule),
     )
     return _finalize(report, schedule, check_oracle)
+
+
+@dataclass(frozen=True)
+class ClosedLoopConfig:
+    """Shape of one closed-loop session pool."""
+
+    #: Concurrent users, each running its own submit/think loop.
+    users: int = 4
+    #: Jobs each user submits before leaving.
+    requests_per_user: int = 8
+    #: Mean of the exponential think time between submissions, seconds.
+    think_s: float = 0.005
+    #: Outstanding jobs a user may hold before blocking on the oldest.
+    max_in_flight: int = 1
+    #: Per-result wait bound, seconds.
+    result_timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.users < 1:
+            raise ValueError("a closed loop needs at least one user")
+        if self.requests_per_user < 1:
+            raise ValueError("each user must submit at least one request")
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if self.think_s < 0.0:
+            raise ValueError("think_s must be non-negative")
+        if self.result_timeout <= 0.0:
+            raise ValueError("result_timeout must be positive")
+
+
+def run_closed_loop_traffic(
+    mix: Sequence[MixEntry],
+    config: Optional[ClosedLoopConfig] = None,
+    *,
+    server: Optional[object] = None,
+    state_dir: Optional[str] = None,
+    workers: int = 1,
+    compile_workers: int = 1,
+    compiler: str = "greedy",
+    seed: int = 0,
+) -> TrafficReport:
+    """Closed-loop sessions against the job server.
+
+    Unlike the open-loop schedules, arrival times here are *reactive*:
+    each of ``config.users`` users draws workloads from ``mix``, keeps at
+    most ``config.max_in_flight`` jobs outstanding (blocking on the oldest
+    before submitting more), and thinks an exponential
+    ``config.think_s``-mean pause between submissions.  This is the regime
+    interactive clients impose — offered load self-limits as latency grows,
+    so overload shows up as latency and shed counts rather than an
+    unbounded backlog.  Determinism comes from per-user
+    ``numpy.random.SeedSequence`` spawns of ``seed``: workload choices,
+    think times and input seeds are all reproducible.
+
+    Oracle checking is skipped (sessions interleave nondeterministically,
+    so there is no direct-path twin to compare outputs against); the report
+    carries status counts, SLO scoring and server telemetry instead.
+    """
+    from repro.server.jobs import Job, JobState
+    from repro.server.server import JobServer
+
+    config = config or ClosedLoopConfig()
+    entries = list(mix)
+    if not entries:
+        raise ValueError("the traffic mix is empty")
+    weights = np.array([entry.weight for entry in entries], dtype=np.float64)
+    if np.any(weights <= 0.0):
+        raise ValueError("mix weights must be positive")
+    probs = weights / weights.sum()
+    workloads = [
+        build_workload(entry.workload, **dict(entry.options)) for entry in entries
+    ]
+
+    owned = server is None
+    if server is None:
+        server = JobServer(
+            state_dir,
+            compiler=compiler,
+            workers=workers,
+            compile_workers=compile_workers,
+        )
+    user_seeds = np.random.SeedSequence(seed).spawn(config.users)
+    submissions: List[List[Tuple[str, str]]] = [[] for _ in range(config.users)]
+    errors: List[BaseException] = []
+
+    def session(uid: int) -> None:
+        choice_seq, input_seq = user_seeds[uid].spawn(2)
+        rng = np.random.default_rng(choice_seq)
+        input_seeds = [
+            int(value)
+            for value in input_seq.generate_state(
+                config.requests_per_user, dtype=np.uint64
+            )
+        ]
+        in_flight: List[str] = []
+
+        def wait_oldest() -> None:
+            job_id = in_flight.pop(0)
+            try:
+                server.result(job_id, wait=True, timeout=config.result_timeout)
+            except RuntimeError:
+                pass  # shed or failed: classified after the run
+
+        try:
+            for request in range(config.requests_per_user):
+                while len(in_flight) >= config.max_in_flight:
+                    wait_oldest()
+                pick = int(rng.choice(len(entries), p=probs))
+                entry, workload = entries[pick], workloads[pick]
+                job_id = server.submit(
+                    Job(
+                        source=workload.source,
+                        compiler=entry.compiler or workload.compiler,
+                        backend=entry.backend or workload.backend,
+                        seed=input_seeds[request],
+                        input_range=workload.input_range,
+                        priority=entry.priority,
+                        name=f"{workload.name}/u{uid}.{request}",
+                    )
+                )
+                in_flight.append(job_id)
+                submissions[uid].append((job_id, workload.name))
+                if config.think_s > 0.0:
+                    time.sleep(float(rng.exponential(config.think_s)))
+            while in_flight:
+                wait_oldest()
+        except BaseException as exc:  # surfaced to the caller below
+            errors.append(exc)
+
+    start = time.perf_counter()
+    try:
+        server.start()
+        threads = [
+            threading.Thread(
+                target=session, args=(uid,), name=f"closed-loop-user-{uid}"
+            )
+            for uid in range(config.users)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        server.stop()
+        wall_s = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+
+        report = TrafficReport(
+            path="closed-loop",
+            jobs=sum(len(user) for user in submissions),
+            wall_s=wall_s,
+            correct=0,
+            verified_jobs=0,
+            telemetry=server.telemetry.snapshot(),
+        )
+        policy = getattr(server, "slo", None)
+        slo_ok = 0 if policy is not None else None
+        for user in submissions:
+            for job_id, name in user:
+                report.per_workload[name] = report.per_workload.get(name, 0) + 1
+                job = server.get(job_id)
+                if job.status is JobState.SHED:
+                    report.shed += 1
+                    continue
+                if job.status is not JobState.COMPLETED:
+                    report.failed += 1
+                    continue
+                report.completed += 1
+                if policy is not None:
+                    budget = policy.wait_budget(job.priority)
+                    wait_s = (
+                        job.started_at or job.submitted_at
+                    ) - job.submitted_at
+                    if budget is None or wait_s <= budget:
+                        slo_ok += 1
+                payload = server.result(job_id)
+                if payload.get("verified", False):
+                    report.verified_jobs += 1
+                    if payload.get("correct", False):
+                        report.correct += 1
+        report.slo_ok = slo_ok
+    finally:
+        if owned:
+            server.close()
+    return report
 
 
 #: Workload set the committed benchmark covers (>= 5, spanning all suites).

@@ -137,3 +137,105 @@ def test_tensor_matches_numpy(values, scale):
     assert np.isclose(result.item(), (array * scale + 1.0).sum())
     result.backward()
     assert np.allclose(tensor.grad, np.full_like(array, scale))
+
+
+# ---------------------------------------------------------------------------
+# Job queue invariants (overload protection)
+# ---------------------------------------------------------------------------
+def _queue_job(priority: int):
+    from repro.server import Job
+
+    return Job(source="(+ a b)", priority=priority)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.integers(min_value=0, max_value=3)),
+            st.tuples(st.just("pop"), st.just(0)),
+            st.tuples(st.just("pop_batch"), st.just(0)),
+        ),
+        max_size=40,
+    ),
+    capacity=st.integers(min_value=1, max_value=6),
+)
+def test_job_queue_conserves_jobs_under_random_interleavings(ops, capacity):
+    """Capacity is never exceeded, and pushed == drained + shed exactly."""
+    from repro.server import JobQueue
+
+    queue = JobQueue(capacity)
+    pushed, shed, drained = [], [], []
+    for op, priority in ops:
+        if op == "push":
+            job = _queue_job(priority)
+            pushed.append(job.id)
+            victim = queue.push(job)
+            if victim is not None:
+                shed.append(victim.id)
+        elif op == "pop":
+            job = queue.pop(timeout=0)
+            if job is not None:
+                drained.append(job.id)
+        else:
+            drained.extend(job.id for job in queue.pop_batch(timeout=0))
+        assert len(queue) <= capacity
+    drained.extend(job.id for job in queue.pop_batch(timeout=0))
+    # Every pushed job comes back exactly once — drained or shed, never both,
+    # never twice, never lost.
+    assert sorted(drained + shed) == sorted(pushed)
+    assert len(set(drained)) == len(drained)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    jobs=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=5)),
+        min_size=1,
+        max_size=12,
+    ),
+    interval=st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+)
+def test_job_queue_aging_drain_order_is_a_total_order(jobs, interval):
+    """Drain order == sort by (-effective priority, arrival): deterministic.
+
+    Each job is backdated to the *middle* of an aging bucket so the
+    milliseconds between push and drain cannot flip the floor division,
+    making the expected order exactly computable.
+    """
+    from repro.server import JobQueue
+
+    queue = JobQueue(aging_interval_s=interval)
+    entries = []
+    for sequence, (priority, aged_levels) in enumerate(jobs):
+        job = _queue_job(priority)
+        job.submitted_at -= interval * (aged_levels + 0.5)
+        queue.push(job)
+        entries.append((-(priority + aged_levels), sequence, job.id))
+    expected = [job_id for _, _, job_id in sorted(entries)]
+    drained = [job.id for job in queue.pop_batch(timeout=0)]
+    assert drained == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    priorities=st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=20),
+    level_capacity=st.integers(min_value=1, max_value=3),
+)
+def test_job_queue_per_priority_backpressure(priorities, level_capacity):
+    """Each base-priority level is bounded separately; overflow is shed."""
+    from collections import Counter
+
+    from repro.server import JobQueue
+
+    queue = JobQueue(per_priority_capacity=level_capacity)
+    shed = 0
+    for priority in priorities:
+        if queue.push(_queue_job(priority)) is not None:
+            shed += 1
+    drained = queue.pop_batch(timeout=0)
+    level_counts = Counter(job.priority for job in drained)
+    assert all(count <= level_capacity for count in level_counts.values())
+    offered = Counter(priorities)
+    assert shed == sum(max(0, count - level_capacity) for count in offered.values())
+    assert len(drained) + shed == len(priorities)

@@ -38,7 +38,13 @@ from repro.server import (
     circuit_to_record,
     coalesce,
 )
-from repro.server.telemetry import Histogram
+from repro.server.telemetry import (
+    Histogram,
+    SLOClass,
+    SLOPolicy,
+    SLOTracker,
+    percentile_from_snapshot,
+)
 from repro.service import ExecutionJob, ExecutionService
 
 PARAMS = BFVParameters.default(1024)
@@ -799,3 +805,224 @@ class TestTimerAugmentedRescheduling:
         second = server.submit(Job(source=SOURCE, seed=1))
         server.drain()
         assert server.result(second)["estimate_source"] == "measured"
+
+
+class TestHistogramPercentile:
+    BOUNDS = (1.0, 2.0, 4.0, 8.0)
+    VALUES = (0.5, 1.5, 1.7, 3.0, 3.5, 5.0, 7.0, 9.0)
+
+    def _containing_bucket(self, value, minimum, maximum):
+        lo = minimum
+        for bound in self.BOUNDS:
+            if value <= bound:
+                return max(lo, minimum), min(bound, maximum)
+            lo = bound
+        return max(lo, minimum), maximum
+
+    def test_estimate_error_bounded_by_containing_bucket(self):
+        """The interpolated percentile always lies inside the bucket that
+        holds the true rank statistic — error <= that bucket's width."""
+        import math
+
+        hist = Histogram("h", bounds=self.BOUNDS)
+        for value in self.VALUES:
+            hist.observe(value)
+        ordered = sorted(self.VALUES)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            true_value = ordered[math.ceil(q * len(ordered)) - 1]
+            lo, hi = self._containing_bucket(true_value, ordered[0], ordered[-1])
+            estimate = hist.percentile(q)
+            assert lo <= estimate <= hi, (q, estimate, (lo, hi))
+            assert abs(estimate - true_value) <= hi - lo
+
+    def test_clamps_and_edge_cases(self):
+        hist = Histogram("h", bounds=self.BOUNDS)
+        assert hist.percentile(0.5) == 0.0  # empty
+        for value in self.VALUES:
+            hist.observe(value)
+        assert hist.percentile(0.0) == min(self.VALUES)
+        assert hist.percentile(1.0) == max(self.VALUES)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+        with pytest.raises(ValueError):
+            hist.percentile(1.1)
+
+    def test_single_observation_is_exact_everywhere(self):
+        hist = Histogram("h", bounds=self.BOUNDS)
+        hist.observe(3.25)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert hist.percentile(q) == 3.25
+
+    def test_snapshot_round_trip_matches_live_histogram(self):
+        hist = Histogram("h", bounds=self.BOUNDS)
+        for value in self.VALUES:
+            hist.observe(value)
+        payload = hist.as_dict()
+        for q in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0):
+            assert percentile_from_snapshot(payload, q) == hist.percentile(q)
+        assert percentile_from_snapshot({}, 0.5) == 0.0
+
+
+class TestSLOPolicy:
+    def test_from_budgets_and_lookups(self):
+        policy = SLOPolicy.from_budgets({2: 0.1, 1: 0.5}, {2: 0.05})
+        assert policy.wait_budget(2) == 0.1
+        assert policy.run_budget(2) == 0.05
+        assert policy.wait_budget(1) == 0.5
+        assert policy.run_budget(1) is None
+        assert policy.wait_budget(0) is None  # undeclared: best effort
+        assert policy.class_for(0) is None
+        assert [slo.priority for slo in policy.classes] == [2, 1]
+
+    def test_duplicate_priorities_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOPolicy((SLOClass(priority=1), SLOClass(priority=1)))
+
+    def test_as_dict_round_trips_budgets(self):
+        policy = SLOPolicy.from_budgets({1: 0.25})
+        payload = policy.as_dict()
+        assert payload["classes"][0]["priority"] == 1
+        assert payload["classes"][0]["max_wait_s"] == 0.25
+
+
+class TestSLOTracker:
+    def test_violations_counted_per_priority_and_kind(self):
+        registry = MetricsRegistry()
+        tracker = SLOTracker(SLOPolicy.from_budgets({1: 0.1}, {1: 0.2}), registry)
+        assert tracker.observe_wait(1, 0.05) is False
+        assert tracker.observe_wait(1, 0.5) is True
+        assert tracker.observe_run(1, 0.3) is True
+        counters = registry.snapshot()["counters"]
+        assert counters["slo_violations"] == 2
+        assert counters["slo_violations_wait_p1"] == 1
+        assert counters["slo_violations_run_p1"] == 1
+        report = tracker.report()
+        assert report["1"]["violations_wait"] == 1
+        assert report["1"]["violations_run"] == 1
+        assert report["1"]["wait_p99_s"] > 0.0
+
+    def test_undeclared_priority_is_tracked_but_never_violates(self):
+        registry = MetricsRegistry()
+        tracker = SLOTracker(SLOPolicy.from_budgets({1: 0.1}), registry)
+        assert tracker.observe_wait(0, 99.0) is False
+        assert "job_wait_s_p0" in registry.names()
+        assert "0" not in tracker.report()
+        assert registry.counter("slo_violations").value == 0
+
+
+class TestJobQueueOverload:
+    def test_full_queue_displaces_lowest_priority(self):
+        queue = JobQueue(2)
+        low_a = Job(source=SOURCE, priority=0)
+        low_b = Job(source=SOURCE, priority=0)
+        queue.push(low_a)
+        queue.push(low_b)
+        victim = queue.push(Job(source=SOURCE, priority=1))
+        # Ties shed the youngest: of the two p0 entries, low_b goes.
+        assert victim is low_b
+        assert sorted(job.priority for job in queue.pop_batch(timeout=0)) == [0, 1]
+
+    def test_incoming_job_is_own_victim_when_not_above_any_level(self):
+        queue = JobQueue(2)
+        queue.push(Job(source=SOURCE, priority=2))
+        queue.push(Job(source=SOURCE, priority=2))
+        incoming = Job(source=SOURCE, priority=1)
+        assert queue.push(incoming) is incoming  # O(1) fast path
+        assert len(queue) == 2
+
+    def test_aged_low_priority_outranks_fresh_high_priority(self):
+        queue = JobQueue(aging_interval_s=1.0)
+        aged = Job(source=SOURCE, priority=0)
+        aged.submitted_at -= 5.5  # effective priority ~5
+        fresh = Job(source=SOURCE, priority=2)
+        queue.push(fresh)
+        queue.push(aged)
+        drained = queue.pop_batch(timeout=0)
+        assert [job is aged for job in drained] == [True, False]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            JobQueue(0)
+        with pytest.raises(ValueError):
+            JobQueue(per_priority_capacity=0)
+        with pytest.raises(ValueError):
+            JobQueue(aging_interval_s=0.0)
+
+
+class TestAdmissionControl:
+    def _warm_server(self, **kwargs):
+        """A server whose service-time EWMA and circuit memo are non-zero, so
+        admission estimates are real rather than the cold-start zero."""
+        server = JobServer(**kwargs)
+        server.submit(Job(source=SOURCE, seed=0))
+        server.drain()
+        return server
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="admission"):
+            JobServer(admission="bogus")
+
+    def test_shed_mode_rejects_over_budget_arrivals(self):
+        policy = SLOPolicy.from_budgets({0: 1e-9})
+        server = self._warm_server(slo=policy, admission="shed")
+        try:
+            job_id = server.submit(Job(source=SOURCE, seed=1))
+            row = server.status(job_id)
+            assert row["status"] == "shed"
+            assert "admission control" in row["error"]
+            counters = server.telemetry.snapshot()["counters"]
+            assert counters["admission_rejects"] == 1
+            assert counters["jobs_shed"] == 1
+        finally:
+            server.close()
+
+    def test_downgrade_mode_demotes_then_sheds_at_floor(self):
+        policy = SLOPolicy.from_budgets({0: 1e-9, 2: 1e-9})
+        server = self._warm_server(slo=policy, admission="downgrade")
+        try:
+            demoted_id = server.submit(Job(source=SOURCE, seed=1, priority=2))
+            demoted = server.get(demoted_id)
+            assert demoted.status is JobState.QUEUED
+            assert demoted.priority == 0  # accepted as best effort
+            floor_id = server.submit(Job(source=SOURCE, seed=2, priority=0))
+            assert server.status(floor_id)["status"] == "shed"
+            counters = server.telemetry.snapshot()["counters"]
+            assert counters["jobs_downgraded"] == 1
+            assert counters["admission_rejects"] == 1
+            server.drain()
+            assert server.status(demoted_id)["status"] == "completed"
+        finally:
+            server.close()
+
+    def test_best_effort_priority_bypasses_admission(self):
+        # Priority 1 has no declared budget: nothing to protect, always admit.
+        policy = SLOPolicy.from_budgets({0: 1e-9})
+        server = self._warm_server(slo=policy, admission="shed")
+        try:
+            job_id = server.submit(Job(source=SOURCE, seed=1, priority=1))
+            assert server.status(job_id)["status"] == "queued"
+        finally:
+            server.close()
+
+    def test_slo_report_covers_declared_priorities(self):
+        policy = SLOPolicy.from_budgets({0: 5.0, 1: 5.0})
+        server = JobServer(slo=policy)
+        try:
+            server.submit(Job(source=SOURCE, seed=0))
+            server.submit(Job(source=SOURCE, seed=1, priority=1))
+            server.drain()
+            report = server.slo_report()
+            assert sorted(report) == ["0", "1"]
+            for row in report.values():
+                for field in (
+                    "wait_p50_s",
+                    "wait_p99_s",
+                    "run_p50_s",
+                    "run_p99_s",
+                    "violations_wait",
+                    "violations_run",
+                ):
+                    assert field in row
+            assert report["0"]["slo"]["max_wait_s"] == 5.0
+        finally:
+            server.close()
