@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test benchmarks smoke bench-smoke bench-backends bench-server bench-workloads bench-overload docs-check all
+.PHONY: test benchmarks smoke bench-smoke bench-backends bench-server bench-workloads bench-overload bench-ablation docs-check all
 
 # Tier-1 test suite (tests/ + benchmarks/ collected from the repo root).
 test:
@@ -15,8 +15,10 @@ benchmarks:
 # three-backend execution parity diff, the job-orchestration server
 # (mixed compile+execute workload, coalescing asserted via telemetry), the
 # workload suite (mixed traffic over a persistent state dir, bit-identical
-# to the direct api path) and the overload hardening (bounded queue sheds
-# under a burst while completing and accounting for every job).
+# to the direct api path), the overload hardening (bounded queue sheds
+# under a burst while completing and accounting for every job) and the
+# study engine (interrupted ablation study resumes without re-running
+# finished replicates).
 smoke:
 	$(PYTHON) -m pytest tests -x -q
 	$(PYTHON) scripts/service_smoke.py --workers 2
@@ -24,6 +26,7 @@ smoke:
 	$(PYTHON) scripts/server_smoke.py
 	$(PYTHON) scripts/workload_smoke.py
 	$(PYTHON) scripts/overload_smoke.py
+	$(PYTHON) scripts/study_smoke.py
 
 # Fig. 5 execution-time series driven through the batched vector VM.
 bench-smoke:
@@ -50,6 +53,12 @@ bench-workloads:
 # with the top-priority p99 wait inside its SLO budget).
 bench-overload:
 	$(PYTHON) scripts/bench_overload.py --check
+
+# System-ablation study: baseline + one-component-off matrix with
+# bootstrap-CI importance ranking (rewrites BENCH_ablation.json; the bar
+# is a complete study with >= 3 replicates per condition).
+bench-ablation:
+	$(PYTHON) scripts/bench_ablation.py --check
 
 # Fail when README / architecture code snippets no longer execute.
 docs-check:

@@ -1,0 +1,63 @@
+"""Shared plumbing for the ``scripts/bench_*.py`` report emitters.
+
+Every bench script needs the same three things: ``repro`` importable from a
+bare checkout (no ``PYTHONPATH=src``), a stamped environment block so a
+committed ``BENCH_*.json`` records what produced it, and the one true way
+of writing the artifact (sorted keys, two-space indent, trailing newline —
+so regenerated artifacts diff cleanly).  Importing this module performs the
+path fix-up as a side effect; scripts then call :func:`write_bench_json`
+instead of hand-rolling ``json.dump``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict
+
+
+def _ensure_repro_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ModuleNotFoundError:  # running from a checkout without PYTHONPATH=src
+        sys.path.insert(
+            0,
+            os.path.join(
+                os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+            ),
+        )
+
+
+_ensure_repro_importable()
+
+
+def bench_environment() -> Dict[str, object]:
+    """What produced this artifact: package version, python, platform."""
+    import repro
+
+    return {
+        "version": repro.__version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def write_bench_json(path: str, payload: Dict[str, object]) -> Dict[str, object]:
+    """Stamp ``payload`` and write it to ``path`` in the canonical format.
+
+    Adds ``version``, ``environment`` and ``generated_unix`` unless the
+    script already set them, and returns the stamped payload.
+    """
+    import repro
+
+    payload = dict(payload)
+    payload.setdefault("version", repro.__version__)
+    payload.setdefault("environment", bench_environment())
+    payload.setdefault("generated_unix", round(time.time(), 3))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload

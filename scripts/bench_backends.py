@@ -19,20 +19,12 @@ below ``--min-speedup`` (the acceptance bar is 5x at B=32).
 from __future__ import annotations
 
 import argparse
-import json
 import math
-import os
 import sys
 import time
 
-try:
-    import repro  # noqa: F401
-except ModuleNotFoundError:  # running from a checkout without PYTHONPATH=src
-    sys.path.insert(
-        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-    )
+from _bench_common import write_bench_json
 
-from repro import __version__
 from repro.compiler import build_compiler, execute, execute_many
 from repro.experiments.harness import geometric_mean
 from repro.fhe.params import BFVParameters
@@ -130,7 +122,6 @@ def main() -> int:
         for batch in batch_sizes
     }
     payload = {
-        "version": __version__,
         "suite": args.suite,
         "compiler": args.compiler,
         "poly_modulus_degree": args.degree,
@@ -140,9 +131,7 @@ def main() -> int:
         "kernels": results,
         "geomean_vector_vm_speedup": geomean,
     }
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_bench_json(args.out, payload)
     print(
         f"geomean vector-vm speedup at B={largest}: {geomean[largest]:.2f}x "
         f"(n={args.degree}, {args.suite} suite, {args.compiler} compiler) -> {args.out}"

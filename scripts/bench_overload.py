@@ -27,19 +27,11 @@ budget.  ``--check`` enforces the acceptance bar:
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import sys
 import time
 
-try:
-    import repro  # noqa: F401
-except ModuleNotFoundError:  # running from a checkout without PYTHONPATH=src
-    sys.path.insert(
-        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-    )
+from _bench_common import write_bench_json
 
-import repro
 from repro.server import Job, JobServer, SLOPolicy
 from repro.workloads import generate_overload_schedule, overload_mix, run_server_traffic
 
@@ -244,7 +236,6 @@ def main() -> int:
     top_p99_wait = hardened_2x["slo"][str(top_priority)]["wait_p99_s"]
 
     payload = {
-        "version": repro.__version__,
         "seed": args.seed,
         "jobs_per_row": args.jobs,
         "workers": args.workers,
@@ -272,9 +263,7 @@ def main() -> int:
             "hardened_2x_top_priority_p99_wait_s": top_p99_wait,
         },
     }
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_bench_json(args.out, payload)
     print(
         f"2x overload: hardened {hardened_2x['report']['goodput_jobs_per_s']:.1f}/s "
         f"vs unbounded {unbounded_2x['report']['goodput_jobs_per_s']:.1f}/s goodput, "

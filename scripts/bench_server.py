@@ -24,19 +24,11 @@ bar is 3x).
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import sys
 import time
 
-try:
-    import repro  # noqa: F401
-except ModuleNotFoundError:  # running from a checkout without PYTHONPATH=src
-    sys.path.insert(
-        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-    )
+from _bench_common import write_bench_json
 
-import repro
 from repro import api
 from repro.ir.printer import to_sexpr
 from repro.kernels.registry import benchmark_by_name
@@ -129,7 +121,6 @@ def main() -> int:
     speedup_reference = walls["api_execute_reference"] / walls["server_coalesced"]
     speedup_uncoalesced = walls["api_execute_vector_vm"] / walls["server_coalesced"]
     payload = {
-        "version": repro.__version__,
         "kernels": list(KERNELS),
         "users_per_kernel": args.users,
         "jobs": total_jobs,
@@ -144,9 +135,7 @@ def main() -> int:
         "speedup_vs_vector_vm_one_at_a_time": speedup_uncoalesced,
         "server_telemetry": server_pass.telemetry,
     }
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_bench_json(args.out, payload)
 
     for name, wall in walls.items():
         print(f"{name:26s} {wall:8.3f} s   {total_jobs / wall:8.1f} jobs/s")

@@ -22,16 +22,9 @@ required workload/backend coverage (>= 5 workloads x 2 backends) holds.
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import sys
 
-try:
-    import repro  # noqa: F401
-except ModuleNotFoundError:  # running from a checkout without PYTHONPATH=src
-    sys.path.insert(
-        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-    )
+from _bench_common import write_bench_json
 
 from repro.workloads.traffic import (
     benchmark_problems,
@@ -67,9 +60,7 @@ def main() -> int:
         seed=args.seed,
         workers=args.workers,
     )
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    payload = write_bench_json(args.out, payload)
 
     for line in summarize_benchmark(payload):
         print(line)

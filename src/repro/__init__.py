@@ -37,6 +37,11 @@ The package is organised around the paper's system:
   end-to-end scenarios with input samplers and expected-output oracles)
   plus the mixed-traffic load generator driving weighted, prioritised
   workload mixes through the server and the direct facade path.
+* :mod:`repro.studies` -- the study engine: declarative ablation studies
+  over registered system components (compiler, backend, coalescer, cache
+  tiers, scheduler, admission control), executed resumably on per-run job
+  servers and analysed into ranked importance scores with bootstrap
+  confidence intervals.
 * :mod:`repro.api` -- the unified facade: ``repro.compile(source,
   compiler="greedy")``, ``repro.execute(..., backend="vector-vm")``,
   ``repro.execute_batch(...)``, ``repro.submit(...)`` /
@@ -44,7 +49,7 @@ The package is organised around the paper's system:
   ``repro.list_backends()`` (also exposed as the ``python -m repro`` CLI).
 """
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 #: Facade names re-exported lazily from :mod:`repro.api` so that
 #: ``import repro`` stays cheap and circular imports (the cache stamps
@@ -60,6 +65,8 @@ _API_EXPORTS = (
     "describe_backend",
     "run_workload",
     "list_workloads",
+    "run_study",
+    "list_components",
     "sample_named_inputs",
     "derive_batch_seeds",
     "make_service",

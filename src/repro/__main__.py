@@ -18,8 +18,14 @@ Subcommands:
   (persistent queue; coalesces queued executions sharing a circuit);
 * ``submit``  — queue a compile/execute job into a ``--state-dir`` (picked
   up by the serving process, or by a later ``serve --drain``);
-* ``jobs``    — list the jobs of a ``--state-dir`` with their status;
-* ``metrics`` — print the server's latest telemetry snapshot.
+* ``jobs``    — list the jobs of a ``--state-dir`` with their status
+  (``--status`` accepts a comma-separated list, e.g. ``shed,failed``);
+* ``metrics`` — print the server's latest telemetry snapshot;
+* ``study``   — ablation studies on the job server: ``study run`` executes
+  a baseline + one-component-off matrix with replicates, ``study resume``
+  finishes an interrupted study without re-running finished replicates,
+  ``study report`` re-analyses a study directory and ``study components``
+  lists the ablatable components.
 
 Sources are s-expressions in the paper's textual IR, e.g.::
 
@@ -31,8 +37,12 @@ Sources are s-expressions in the paper's textual IR, e.g.::
     python -m repro list-compilers
     python -m repro submit "(+ (* a b) c)" --state-dir .state --seed 3
     python -m repro serve --state-dir .state --drain
-    python -m repro jobs --state-dir .state
+    python -m repro jobs --state-dir .state --status shed,failed
     python -m repro metrics --state-dir .state
+    python -m repro study components
+    python -m repro study run --study-dir .study --replicates 3
+    python -m repro study resume --study-dir .study
+    python -m repro study report --study-dir .study
 
 ``@path`` reads a source from a file and ``-`` from stdin.  ``--option
 key=value`` forwards factory options to the registry (values are parsed as
@@ -364,7 +374,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--state-dir", required=True, help="directory of the persistent job store"
     )
     jobs_parser.add_argument(
-        "--status", default=None, help="only show jobs in this status"
+        "--status",
+        default=None,
+        help="only show jobs in these statuses (comma-separated, e.g. shed,failed)",
     )
 
     metrics_parser = subparsers.add_parser(
@@ -373,7 +385,95 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_parser.add_argument(
         "--state-dir", required=True, help="directory of the persistent job store"
     )
+
+    study_parser = subparsers.add_parser(
+        "study", help="run, resume and analyse ablation studies on the job server"
+    )
+    study_subparsers = study_parser.add_subparsers(dest="study_command", required=True)
+
+    def _add_study_analysis(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--resamples", type=int, default=2000, help="bootstrap resamples for the CIs"
+        )
+        sub.add_argument("--out", default=None, help="also write the report JSON here")
+
+    study_run = study_subparsers.add_parser(
+        "run", help="execute a baseline + one-component-off matrix with replicates"
+    )
+    study_run.add_argument(
+        "--study-dir", required=True, help="directory for study state and per-run servers"
+    )
+    study_run.add_argument("--name", default="system-ablation", help="study name")
+    study_run.add_argument(
+        "--components",
+        default=None,
+        help="comma-separated component names (default: the default matrix)",
+    )
+    study_run.add_argument(
+        "--workloads",
+        default="dot-product,max-tree",
+        help="comma-separated workload registry names cycled across jobs",
+    )
+    study_run.add_argument(
+        "--replicates", type=int, default=3, help="runs per condition (≥3 for CIs)"
+    )
+    study_run.add_argument(
+        "--jobs-per-replicate", type=int, default=8, help="jobs submitted per run"
+    )
+    study_run.add_argument("--seed", type=int, default=0, help="study root seed")
+    study_run.add_argument(
+        "--workers", type=int, default=2, help="server worker threads per run"
+    )
+    study_run.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        help="execute at most this many pending runs (resume later for the rest)",
+    )
+    _add_study_analysis(study_run)
+
+    study_resume = study_subparsers.add_parser(
+        "resume", help="finish an interrupted study, skipping recorded replicates"
+    )
+    study_resume.add_argument(
+        "--study-dir", required=True, help="directory of the interrupted study"
+    )
+    study_resume.add_argument(
+        "--max-runs", type=int, default=None, help="cap pending runs this invocation"
+    )
+    _add_study_analysis(study_resume)
+
+    study_report_parser = study_subparsers.add_parser(
+        "report", help="re-analyse a study directory without executing anything"
+    )
+    study_report_parser.add_argument(
+        "--study-dir", required=True, help="directory of the recorded study"
+    )
+    _add_study_analysis(study_report_parser)
+
+    study_subparsers.add_parser(
+        "components", help="list the registered ablatable components"
+    )
     return parser
+
+
+def _print_study_report(report: Dict[str, object]) -> None:
+    primary = report["primary_metric"]
+    print(f"study        : {report['study']} ({report['runs_recorded']} runs recorded)")
+    print(f"primary      : {primary}")
+    for summary in report["conditions"]:
+        stats = summary["metrics"].get(primary, {})
+        print(
+            f"  {summary['condition']:<20} {primary} = {stats.get('mean', 0.0):9.3f}"
+            f" ± {stats.get('std', 0.0):7.3f}  (n={stats.get('n', 0)})"
+        )
+    print("ranking      : (importance = fraction of baseline lost when removed)")
+    for row in report["ranking"]:
+        print(
+            f"  #{row['rank']} {row['component']:<20} importance {row['importance']:+.3f}"
+            f"  CI [{row['ci_low']:+.3f}, {row['ci_high']:+.3f}]"
+            f"  ({row['ablated_replicates']} replicate(s))"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -537,7 +637,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             key=lambda job: job.submitted_at,
         )
         if args.status:
-            jobs = [job for job in jobs if job.status.value == args.status]
+            wanted = {part.strip() for part in args.status.split(",") if part.strip()}
+            jobs = [job for job in jobs if job.status.value in wanted]
         for job in jobs:
             row = job.summary()
             print(
@@ -560,6 +661,76 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         with open(path, "r", encoding="utf-8") as handle:
             print(handle.read().rstrip())
+        return 0
+
+    if args.command == "study":
+        if args.study_command == "components":
+            rows = api.list_components()
+            width = max(len(row["name"]) for row in rows)
+            for row in rows:
+                marker = " " if row["default"] else "*"
+                print(f"{row['name']:<{width}} {marker} {row['description']}")
+            print("(* = not in the default matrix; opt in via --components)")
+            return 0
+
+        def _progress(run, record):
+            metrics = record.get("metrics", {})
+            primary = metrics.get("throughput_jobs_per_s", 0.0)
+            print(
+                f"  ran {run.run_id:<28} seed={run.seed:<12}"
+                f" throughput={primary:8.2f} jobs/s"
+            )
+
+        if args.study_command == "run":
+            report = api.run_study(
+                args.study_dir,
+                name=args.name,
+                components=(
+                    [part.strip() for part in args.components.split(",") if part.strip()]
+                    if args.components
+                    else None
+                ),
+                workloads=[
+                    part.strip() for part in args.workloads.split(",") if part.strip()
+                ],
+                replicates=args.replicates,
+                jobs_per_replicate=args.jobs_per_replicate,
+                seed=args.seed,
+                workers=args.workers,
+                max_runs=args.max_runs,
+                resamples=args.resamples,
+                progress=_progress,
+            )
+        elif args.study_command == "resume":
+            report = api.run_study(
+                args.study_dir,
+                resume=True,
+                max_runs=args.max_runs,
+                resamples=args.resamples,
+                progress=_progress,
+            )
+        else:  # report
+            from repro.studies import StudyRunner, load_study_spec, study_report
+
+            spec = load_study_spec(args.study_dir)
+            if spec is None:
+                print(f"no study recorded under {args.study_dir}", file=sys.stderr)
+                return 1
+            records = StudyRunner(spec, args.study_dir).load_records()
+            report = study_report(
+                spec.as_dict(), records, seed=spec.seed, resamples=args.resamples
+            )
+            report["study_dir"] = args.study_dir
+
+        _print_study_report(report)
+        progress = report.get("progress")
+        if progress is not None and not progress["complete"]:
+            remaining = len(progress["remaining"])
+            print(f"incomplete   : {remaining} run(s) pending — `study resume` to finish")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
         return 0
 
     options = _parse_options(args.option)

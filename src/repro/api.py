@@ -77,6 +77,8 @@ __all__ = [
     "WorkloadRunOutcome",
     "run_workload",
     "list_workloads",
+    "run_study",
+    "list_components",
     "list_compilers",
     "describe_compiler",
     "list_backends",
@@ -738,6 +740,77 @@ def list_workloads() -> List[Dict[str, object]]:
             }
         )
     return rows
+
+
+def run_study(
+    study_dir: str,
+    *,
+    name: str = "system-ablation",
+    components: Optional[Sequence[str]] = None,
+    workloads: Optional[Sequence[str]] = None,
+    replicates: int = 3,
+    jobs_per_replicate: int = 8,
+    seed: int = 0,
+    workers: int = 2,
+    resume: bool = False,
+    max_runs: Optional[int] = None,
+    resamples: int = 2000,
+    progress: Optional[object] = None,
+) -> Dict[str, object]:
+    """Run (or resume) an ablation study and return its analysed report.
+
+    A study executes one *baseline* condition plus one single-delta
+    condition per component (:func:`list_components`), ``replicates``
+    independently seeded runs each, every run a fresh
+    :class:`~repro.server.server.JobServer` driving ``jobs_per_replicate``
+    workload jobs through the production stack.  Progress persists as JSONL
+    under ``study_dir``, so an interrupted study picks up where it left off:
+    call again with ``resume=True`` (the spec is reloaded from the study
+    log) and finished replicates are skipped, not re-executed.
+
+    The returned report carries per-condition metric summaries plus
+    per-component importance scores — the relative change of the primary
+    metric when the component is removed — with bootstrap confidence
+    intervals and a most-important-first ranking
+    (:func:`repro.studies.analysis.study_report`).  ``max_runs`` caps how
+    many pending runs this call executes (the kill/resume tests use it);
+    the report then covers only the recorded prefix and the payload's
+    ``progress.complete`` is False.
+    """
+    from repro.studies import StudyRunner, StudySpec, load_study_spec, study_report
+    from repro.studies.spec import RunConfig
+
+    if resume:
+        spec = load_study_spec(study_dir)
+        if spec is None:
+            raise ValueError(
+                f"no resumable study under {study_dir!r} (missing study.jsonl header)"
+            )
+    else:
+        spec = StudySpec(
+            name=name,
+            components=tuple(components) if components else (),
+            workloads=tuple(workloads) if workloads else ("dot-product", "max-tree"),
+            replicates=replicates,
+            jobs_per_replicate=jobs_per_replicate,
+            seed=seed,
+            base_config=RunConfig(workers=workers),
+        )
+    runner = StudyRunner(spec, study_dir)
+    outcome = runner.run(max_runs=max_runs, progress=progress)
+    report = study_report(
+        spec.as_dict(), runner.load_records(), seed=spec.seed, resamples=resamples
+    )
+    report["study_dir"] = study_dir
+    report["progress"] = outcome.as_dict()
+    return report
+
+
+def list_components() -> List[Dict[str, object]]:
+    """Every registered ablatable component: name, description, overrides."""
+    from repro.studies import available_components, get_component
+
+    return [get_component(name).as_dict() for name in available_components()]
 
 
 def list_compilers() -> List[Dict[str, str]]:

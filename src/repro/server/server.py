@@ -124,6 +124,19 @@ class JobServer:
         of rejecting them.
     admission_floor:
         The priority ``"downgrade"`` mode demotes to.
+    coalesce:
+        When False every execute job runs as its own backend batch — the
+        pre-coalescing behaviour.  The ablation engine flips this to price
+        the fingerprint coalescer; leave it True for serving.
+    memoize_circuits:
+        When False the hot-path circuit memo is bypassed and every execute
+        job pays a full parse plus compilation-service lookup.  Combined
+        with a disabled :class:`~repro.service.cache.CompilationCache`
+        (``capacity=0``) this prices the whole compilation-caching tier.
+    prefer_measured:
+        Forwarded to every :class:`~repro.service.execution.ExecutionService`
+        this server creates; False schedules (and admits) on the raw
+        analytical latency model instead of the timer-augmented EWMA.
     fault_injector:
         Armed-trigger registry for the recovery tests
         (:mod:`repro.server.faults`); shared with the job store.
@@ -147,6 +160,9 @@ class JobServer:
         slo: Optional[SLOPolicy] = None,
         admission: str = "off",
         admission_floor: int = 0,
+        coalesce: bool = True,
+        memoize_circuits: bool = True,
+        prefer_measured: bool = True,
         fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if workers < 1:
@@ -164,6 +180,9 @@ class JobServer:
         self.slo = slo
         self.admission = admission
         self.admission_floor = admission_floor
+        self.coalesce = coalesce
+        self.memoize_circuits = memoize_circuits
+        self.prefer_measured = prefer_measured
         self._slo_tracker = SLOTracker(slo, self.telemetry)
         #: EWMA of observed per-job tick seconds: the admission fallback
         #: weight for jobs whose circuit has no ExecutionService estimate
@@ -561,20 +580,24 @@ class JobServer:
             tuple(sorted(job.compiler_options.items())),
             job.source,
         )
-        with self._lock:
-            hit = self._circuit_memo.get(memo_key)
-            if hit is not None:
-                self._circuit_memo.move_to_end(memo_key)
-                return hit
+        if self.memoize_circuits:
+            with self._lock:
+                hit = self._circuit_memo.get(memo_key)
+                if hit is not None:
+                    self._circuit_memo.move_to_end(memo_key)
+                    self.telemetry.counter("circuit_memo_hits").inc()
+                    return hit
+        self.telemetry.counter("circuit_memo_misses").inc()
         expr = parse(job.source)
         report = self._compile_service(job).compile_expression(
             expr, name=job.name or "circuit"
         )
         entry = (report.circuit, expr, list(variables(expr)))
-        with self._lock:
-            self._circuit_memo[memo_key] = entry
-            while len(self._circuit_memo) > self._circuit_memo_cap:
-                self._circuit_memo.popitem(last=False)
+        if self.memoize_circuits:
+            with self._lock:
+                self._circuit_memo[memo_key] = entry
+                while len(self._circuit_memo) > self._circuit_memo_cap:
+                    self._circuit_memo.popitem(last=False)
         return entry
 
     def _run_compile_jobs(
@@ -605,7 +628,10 @@ class JobServer:
         service = self._execution_services.get(backend_name)
         if service is None:
             service = ExecutionService(
-                backend_name, params=self.params, workers=self.workers
+                backend_name,
+                params=self.params,
+                workers=self.workers,
+                prefer_measured=self.prefer_measured,
             )
             self._execution_services[backend_name] = service
         return service
@@ -634,7 +660,13 @@ class JobServer:
             except Exception as error:
                 terminal += self._handle_failure(job, error, sink)
 
-        groups = coalesce(entries)
+        if self.coalesce:
+            groups = coalesce(entries)
+        else:
+            # Ablated: one group per job, as if the coalescer never existed
+            # (each still pays its own fingerprint hash — that cost is part
+            # of what coalescing amortizes).
+            groups = [group for entry in entries for group in coalesce([entry])]
         by_backend: Dict[str, List[CoalescedGroup]] = {}
         for group in groups:
             by_backend.setdefault(group.backend_key, []).append(group)

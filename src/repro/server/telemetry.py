@@ -92,12 +92,32 @@ def _bucket_percentile(
 
     The estimate is linear within the containing bucket and clamped to the
     observed ``[min, max]``, so its error is bounded by that bucket's width
-    (the unit tests pin exactly this bound).
+    (the unit tests pin exactly this bound).  Edge cases are defined, never
+    interpolated: an empty histogram is 0.0 for every ``q``; ``q=0`` /
+    ``q=1`` are the observed minimum / maximum; and when the observed
+    extremes are missing or non-finite (older persisted snapshots,
+    hand-built payloads) the populated bucket bounds stand in for them, so
+    estimates stay inside the recorded data instead of clamping to 0.
     """
     if not 0.0 <= q <= 1.0:
         raise ValueError("percentile q must be in [0, 1]")
     if count <= 0:
         return 0.0
+    if not math.isfinite(minimum) or not math.isfinite(maximum):
+        populated = [index for index, value in enumerate(buckets) if value > 0]
+        if populated:
+            first, last = populated[0], populated[-1]
+            lower = bounds[first - 1] if first > 0 else 0.0
+            if last < len(bounds):
+                upper = bounds[last]
+            else:  # overflow bucket: the top bound is the best finite stand-in
+                upper = bounds[-1] if bounds else lower
+        else:
+            lower = upper = 0.0
+        if not math.isfinite(minimum):
+            minimum = lower
+        if not math.isfinite(maximum):
+            maximum = max(upper, minimum)
     if q <= 0.0:
         return minimum
     if q >= 1.0:
@@ -137,8 +157,10 @@ def percentile_from_snapshot(payload: Mapping[str, object], q: float) -> float:
         bounds,
         buckets,
         int(payload.get("count", 0)),
-        float(payload.get("min", 0.0)),
-        float(payload.get("max", 0.0)),
+        # NaN (not 0.0) when absent: _bucket_percentile then substitutes the
+        # populated bucket bounds instead of clamping everything to 0.
+        float(payload.get("min", float("nan"))),
+        float(payload.get("max", float("nan"))),
         q,
     )
 

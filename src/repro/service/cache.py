@@ -98,11 +98,16 @@ class CompilationCache:
     ``directory`` is given, a second on-disk tier persists *stable* entries
     (pickled reports named by their key) across processes and sessions; disk
     hits are promoted back into the memory tier.
+
+    ``capacity=0`` disables the cache entirely: every lookup misses, nothing
+    is stored in either tier, and only the miss counters move.  The ablation
+    engine uses this to measure what compilation caching is worth without
+    changing any call site.
     """
 
     def __init__(self, capacity: int = 512, directory: Optional[str] = None) -> None:
-        if capacity < 1:
-            raise ValueError("cache capacity must be at least 1")
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
         self.capacity = capacity
         self.directory = directory
         self.stats = CacheStats()
@@ -113,6 +118,9 @@ class CompilationCache:
     # -- lookup ------------------------------------------------------------
     def get(self, key: str) -> Optional[CompilationReport]:
         """The cached report for ``key``, or None on a miss."""
+        if self.capacity == 0:
+            self.stats.misses += 1
+            return None
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
@@ -129,6 +137,8 @@ class CompilationCache:
 
     def put(self, key: str, report: CompilationReport, stable: bool = True) -> None:
         """Store ``report`` under ``key``; unstable entries stay in memory."""
+        if self.capacity == 0:
+            return
         self.stats.stores += 1
         self._memory_put(key, report)
         if stable:

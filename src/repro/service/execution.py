@@ -124,6 +124,12 @@ class ExecutionService:
         least-recently-touched entry (read *or* updated) is evicted and that
         circuit falls back to the calibrated analytical model until it runs
         again.
+    prefer_measured:
+        When False the timer augmentation is switched off: every estimate
+        comes from the *uncalibrated* analytical latency model, exactly the
+        pre-McDoniel baseline.  Measurements are still recorded (the tables
+        stay observable) but never drive a scheduling weight.  The ablation
+        engine flips this to price the timer-augmented scheduler.
     """
 
     def __init__(
@@ -135,6 +141,7 @@ class ExecutionService:
         smoothing: float = 0.5,
         calibration_smoothing: float = 0.25,
         max_measured: int = 1024,
+        prefer_measured: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -151,6 +158,7 @@ class ExecutionService:
         self.smoothing = smoothing
         self.calibration_smoothing = calibration_smoothing
         self.max_measured = max_measured
+        self.prefer_measured = prefer_measured
         self._latency_model = LatencyModel(self.params)
         #: Measured per-input-set wall seconds, EWMA per circuit, bounded LRU.
         self._measured: "OrderedDict[str, float]" = OrderedDict()
@@ -178,7 +186,11 @@ class ExecutionService:
         Prefers the recorded timer for circuits that have executed before;
         falls back to the analytical latency model, scaled by the observed
         measured/model calibration ratio so mixed batches stay comparable.
+        With ``prefer_measured=False`` the raw analytical model answers
+        unconditionally.
         """
+        if not self.prefer_measured:
+            return program.estimated_latency_ms(self._latency_model), "model"
         key = self.job_key(program)
         with self._measured_lock:
             measured = self._measured.get(key)

@@ -1,0 +1,66 @@
+"""Study orchestration: automated ablations on the job server.
+
+The subsystem turns the serving stack into its own experiment platform.
+:mod:`repro.studies.components` names the toggleable components,
+:mod:`repro.studies.spec` expands a study into a seeded run matrix,
+:mod:`repro.studies.runner` executes it (resumably) on per-run
+:class:`~repro.server.server.JobServer` instances, and
+:mod:`repro.studies.analysis` turns the records into ranked importance
+scores with bootstrap confidence intervals.
+
+The supported entry points are :func:`repro.api.run_study`,
+:func:`repro.api.list_components` and the ``python -m repro study``
+CLI group.
+"""
+
+from repro.studies.analysis import (
+    bootstrap_ci,
+    component_importance,
+    condition_summary,
+    rank_components,
+    study_report,
+)
+from repro.studies.components import (
+    Component,
+    available_components,
+    default_components,
+    get_component,
+    register_component,
+)
+from repro.studies.runner import (
+    StudyProgress,
+    StudyRunner,
+    load_study_spec,
+    run_study_spec,
+)
+from repro.studies.spec import (
+    BASELINE,
+    RunConfig,
+    RunSpec,
+    StudySpec,
+    condition_seeds,
+    generate_runs,
+)
+
+__all__ = [
+    "BASELINE",
+    "Component",
+    "RunConfig",
+    "RunSpec",
+    "StudyProgress",
+    "StudyRunner",
+    "StudySpec",
+    "available_components",
+    "bootstrap_ci",
+    "component_importance",
+    "condition_seeds",
+    "condition_summary",
+    "default_components",
+    "generate_runs",
+    "get_component",
+    "load_study_spec",
+    "rank_components",
+    "register_component",
+    "run_study_spec",
+    "study_report",
+]

@@ -862,6 +862,41 @@ class TestHistogramPercentile:
             assert percentile_from_snapshot(payload, q) == hist.percentile(q)
         assert percentile_from_snapshot({}, 0.5) == 0.0
 
+    def test_snapshot_without_min_max_falls_back_to_bucket_bounds(self):
+        """A persisted payload lacking min/max (older writers, hand-built
+        dicts) must yield estimates inside the populated buckets, not 0.0."""
+        payload = {
+            "count": 4,
+            "sum": 1.2,
+            "buckets": {"le_1": 0, "le_2": 4, "le_4": 0, "le_8": 0, "overflow": 0},
+        }
+        # All four observations sit in the (1, 2] bucket: every percentile —
+        # including the q=0/q=1 extremes — must land inside those bounds.
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert 1.0 <= percentile_from_snapshot(payload, q) <= 2.0, q
+        # Out-of-range q still raises even without min/max.
+        with pytest.raises(ValueError):
+            percentile_from_snapshot(payload, 1.5)
+        with pytest.raises(ValueError):
+            percentile_from_snapshot(payload, -0.5)
+
+    def test_snapshot_without_min_max_overflow_uses_top_bound(self):
+        """With the overflow bucket populated and no observed max, the top
+        finite bound is the stand-in: bounded output, never a NaN or 0.0."""
+        payload = {
+            "count": 2,
+            "buckets": {"le_1": 1, "le_2": 0, "le_4": 0, "le_8": 0, "overflow": 1},
+        }
+        assert percentile_from_snapshot(payload, 0.0) == 0.0  # lower bound of le_1
+        assert percentile_from_snapshot(payload, 1.0) == 8.0  # top finite bound
+        mid = percentile_from_snapshot(payload, 0.5)
+        assert 0.0 <= mid <= 8.0
+
+    def test_empty_snapshot_and_zero_count_are_defined(self):
+        assert percentile_from_snapshot({}, 0.0) == 0.0
+        assert percentile_from_snapshot({}, 1.0) == 0.0
+        assert percentile_from_snapshot({"count": 0, "buckets": {}}, 0.5) == 0.0
+
 
 class TestSLOPolicy:
     def test_from_budgets_and_lookups(self):
