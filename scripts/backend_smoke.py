@@ -8,7 +8,10 @@ and ``cost-sim`` and checks the backend-parity invariants CI cares about:
   batched execution);
 * all three backends report identical latency, operation counts and noise
   accounting;
-* cost-sim produces accounting but no outputs.
+* cost-sim produces accounting but no outputs;
+* the tape optimizer actually engages: fused-superinstruction count > 0 on
+  a rotation-heavy kernel, and the process-wide compiled-tape memo hits on
+  the second execution of the same circuit.
 
 Exits non-zero (with a one-line reason) on any violation.
 """
@@ -26,11 +29,14 @@ except ModuleNotFoundError:  # running from a checkout without PYTHONPATH=src
         0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
     )
 
+from repro.backends.tapeopt import get_compiled_tape, reset_tape_cache, tape_cache_stats
 from repro.compiler import build_compiler, execute, execute_many
 from repro.fhe.params import BFVParameters
 from repro.kernels.registry import benchmark_by_name
 
 KERNELS = ("dot_product_8", "matrix_multiply_3x3", "box_blur_3x3", "sort_3")
+#: Rotation-heavy kernel on which peephole fusion must demonstrably engage.
+FUSION_KERNEL = "dot_product_8"
 
 
 def main() -> int:
@@ -42,6 +48,7 @@ def main() -> int:
 
     params = BFVParameters.default(args.degree)
     compiler = build_compiler(args.compiler)
+    reset_tape_cache()
     for name in KERNELS:
         benchmark = benchmark_by_name(name)
         circuit = compiler.compile_expression(benchmark.expression(), name=name).circuit
@@ -50,6 +57,26 @@ def main() -> int:
         reference = [execute(circuit, item, params=params, backend="reference") for item in inputs]
         vm = execute_many(circuit, inputs, params=params, backend="vector-vm")
         sim = execute(circuit, inputs[0], params=params, backend="cost-sim")
+
+        if name == FUSION_KERNEL:
+            stats = get_compiled_tape(circuit, params).stats
+            if int(stats["fused_total"]) <= 0:
+                print(
+                    f"FAIL: tape optimizer fused nothing on rotation-heavy "
+                    f"{name} (stats: {stats})",
+                    file=sys.stderr,
+                )
+                return 1
+            hits_before = tape_cache_stats()["hits"]
+            execute_many(circuit, inputs, params=params, backend="vector-vm")
+            hits_after = tape_cache_stats()["hits"]
+            if hits_after <= hits_before:
+                print(
+                    f"FAIL: second execution of {name} did not hit the "
+                    f"compiled-tape memo ({tape_cache_stats()})",
+                    file=sys.stderr,
+                )
+                return 1
 
         for index, (ref, batched) in enumerate(zip(reference, vm)):
             if ref.outputs != batched.outputs:
@@ -84,7 +111,11 @@ def main() -> int:
             f"{head.latency_ms:.1f} ms simulated, "
             f"{head.consumed_noise_budget:.1f} bits consumed)"
         )
-    print("backend smoke OK")
+    cache = tape_cache_stats()
+    print(
+        f"backend smoke OK (tape memo: {cache['compiles']} compiles, "
+        f"{cache['hits']} hits)"
+    )
     return 0
 
 

@@ -5,15 +5,21 @@ For every kernel of the Coyote suite (and optionally others), compiles the
 circuit once and measures wall-clock execution time per batch size for
 
 * ``reference`` — B sequential runs through the SEAL-style evaluator,
-* ``vector-vm`` — one batched pass over the instruction tape, and
+* ``vector-vm`` — one batched pass over the optimized compiled tape
+  (fused superinstructions + register arena + per-tape specialization),
+* ``vector-vm-interp`` — the same VM with tape compilation switched off
+  (the legacy per-instruction interpreter), pricing the optimizer, and
 * ``cost-sim``  — the accounting-only simulator,
 
-verifying along the way that the vector VM's outputs are bit-identical to
-the reference backend's.  The JSON artifact records wall-clock per
-(kernel, backend, batch size) plus per-kernel and geometric-mean speedups,
-so future PRs can track the throughput trajectory; ``--check`` exits
-non-zero when the geomean vector-vm speedup at the largest batch size falls
-below ``--min-speedup`` (the acceptance bar is 5x at B=32).
+verifying along the way that both vector-VM variants' outputs are
+bit-identical to the reference backend's.  The JSON artifact records
+wall-clock per (kernel, backend, batch size), per-kernel tape statistics
+(instructions before/after optimization, fused superinstruction counts,
+arena peak buffers) and per-kernel plus geometric-mean speedups, so future
+PRs can track the throughput trajectory; ``--check`` exits non-zero when
+the geomean vector-vm speedup at the largest batch size falls below
+``--min-speedup`` (the acceptance bar is 11x at B=32 since the tape
+compiler landed; it was 5x for the legacy interpreter).
 """
 
 from __future__ import annotations
@@ -25,12 +31,15 @@ import time
 
 from _bench_common import write_bench_json
 
+from repro.backends.tapeopt import get_compiled_tape
 from repro.compiler import build_compiler, execute, execute_many
 from repro.experiments.harness import geometric_mean
 from repro.fhe.params import BFVParameters
 from repro.kernels.registry import benchmark_suite
 
-BACKENDS = ("reference", "vector-vm", "cost-sim")
+BACKENDS = ("reference", "vector-vm", "vector-vm-interp", "cost-sim")
+#: Backends whose per-batch speedup over reference lands in the artifact.
+SPEEDUP_KEYS = {"vector-vm": "speedup_vs_reference", "vector-vm-interp": "interp_speedup_vs_reference"}
 
 
 def main() -> int:
@@ -43,7 +52,7 @@ def main() -> int:
         "--degree", type=int, default=16384, help="polynomial modulus degree n"
     )
     parser.add_argument(
-        "--batch-sizes", default="1,8,32", help="comma-separated batch sizes"
+        "--batch-sizes", default="1,8,32,64", help="comma-separated batch sizes"
     )
     parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing")
     parser.add_argument("--out", default="BENCH_backends.json", help="output JSON path")
@@ -53,7 +62,7 @@ def main() -> int:
     parser.add_argument(
         "--min-speedup",
         type=float,
-        default=5.0,
+        default=11.0,
         help="required geomean vector-vm speedup at the largest batch size",
     )
     args = parser.parse_args()
@@ -70,11 +79,22 @@ def main() -> int:
     for benchmark in kernels:
         report = compiler.compile_expression(benchmark.expression(), name=benchmark.name)
         circuit = report.circuit
+        tape_stats = get_compiled_tape(circuit, params).stats
         row = {
             "kernel": benchmark.name,
             "instructions": len(circuit.instructions),
+            "tape": {
+                "compute_ops": tape_stats["compute_ops"],
+                "tape_ops": tape_stats["tape_ops"],
+                "tape_entries": tape_stats["tape_entries"],
+                "fused": tape_stats["fused"],
+                "fused_total": tape_stats["fused_total"],
+                "eliminated": tape_stats["eliminated"],
+                "arena_slots": tape_stats["arena_slots"],
+            },
             "wall_s": {backend: {} for backend in BACKENDS},
             "speedup_vs_reference": {},
+            "interp_speedup_vs_reference": {},
         }
         for batch in batch_sizes:
             inputs = [benchmark.sample_inputs(seed=seed) for seed in range(batch)]
@@ -97,27 +117,38 @@ def main() -> int:
                 timings[backend] = best
                 outputs[backend] = [r.outputs for r in reports]
                 row["wall_s"][backend][str(batch)] = best
-            if outputs["reference"] != outputs["vector-vm"]:
-                print(
-                    f"FAIL: vector-vm outputs differ from reference on "
-                    f"{benchmark.name} at B={batch}",
-                    file=sys.stderr,
+            for vm_backend in ("vector-vm", "vector-vm-interp"):
+                if outputs["reference"] != outputs[vm_backend]:
+                    print(
+                        f"FAIL: {vm_backend} outputs differ from reference on "
+                        f"{benchmark.name} at B={batch}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                row[SPEEDUP_KEYS[vm_backend]][str(batch)] = (
+                    timings["reference"] / timings[vm_backend]
                 )
-                return 1
-            row["speedup_vs_reference"][str(batch)] = (
-                timings["reference"] / timings["vector-vm"]
-            )
         results.append(row)
         speedups = ", ".join(
             f"B={batch}: {row['speedup_vs_reference'][str(batch)]:.1f}x"
             for batch in batch_sizes
         )
-        print(f"{benchmark.name:24s} {len(circuit.instructions):4d} instr   {speedups}")
+        print(
+            f"{benchmark.name:24s} {len(circuit.instructions):4d} instr -> "
+            f"{row['tape']['tape_ops']:4d} ops ({row['tape']['fused_total']:3d} fused, "
+            f"{row['tape']['arena_slots']:2d} slots)   {speedups}"
+        )
 
     largest = str(batch_sizes[-1])
     geomean = {
         str(batch): geometric_mean(
             [row["speedup_vs_reference"][str(batch)] for row in results]
+        )
+        for batch in batch_sizes
+    }
+    geomean_interp = {
+        str(batch): geometric_mean(
+            [row["interp_speedup_vs_reference"][str(batch)] for row in results]
         )
         for batch in batch_sizes
     }
@@ -130,10 +161,12 @@ def main() -> int:
         "outputs_bit_identical": True,
         "kernels": results,
         "geomean_vector_vm_speedup": geomean,
+        "geomean_vector_vm_interp_speedup": geomean_interp,
     }
     write_bench_json(args.out, payload)
     print(
         f"geomean vector-vm speedup at B={largest}: {geomean[largest]:.2f}x "
+        f"(tape opt off: {geomean_interp[largest]:.2f}x) "
         f"(n={args.degree}, {args.suite} suite, {args.compiler} compiler) -> {args.out}"
     )
 

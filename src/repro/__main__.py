@@ -235,6 +235,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload factory option (repeatable), e.g. size=16",
     )
 
+    tape_parser = subparsers.add_parser(
+        "tape",
+        help="dump the vector VM's optimized executable tape for a kernel",
+    )
+    tape_parser.add_argument(
+        "source",
+        help="workload name, kernel name (see workloads / bench suites), "
+        "s-expression, @file, or - for stdin",
+    )
+    tape_parser.add_argument(
+        "--compiler",
+        default=None,
+        help="compiler producing the circuit (default: the workload's, else greedy)",
+    )
+    tape_parser.add_argument(
+        "--degree", type=int, default=1024, help="polynomial modulus degree n"
+    )
+    tape_parser.add_argument(
+        "--input-range",
+        type=int,
+        default=7,
+        help="input magnitude bound selecting the reduction plan",
+    )
+    tape_parser.add_argument(
+        "--emit-fn",
+        action="store_true",
+        help="also print the generated specialized Python function",
+    )
+
     bench_workloads_parser = subparsers.add_parser(
         "bench-workloads",
         help="benchmark the workloads: direct vs server path + mixed traffic",
@@ -526,6 +555,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print("  verified     : skipped (backend produces no outputs)")
         return 0 if batch.all_correct and outcome.oracle_correct else 1
+
+    if args.command == "tape":
+        from repro.backends.tapeopt import get_compiled_tape
+        from repro.fhe.params import BFVParameters
+        from repro.workloads import available_workloads, build_workload
+
+        source = args.source
+        compiler = args.compiler
+        name = None
+        if source in available_workloads():
+            workload = build_workload(source)
+            source = workload.source
+            compiler = compiler or workload.compiler
+            name = workload.name
+        else:
+            from repro.kernels.registry import benchmark_suite
+
+            match = next((b for b in benchmark_suite() if b.name == source), None)
+            if match is not None:
+                source = match.expression()
+                name = match.name
+            else:
+                source = _read_source(source)
+        report = api.compile(source, compiler or "greedy", name=name)
+        params = BFVParameters.default(args.degree)
+        tape = get_compiled_tape(report.circuit, params)
+        print(f"kernel: {report.name} ({report.circuit.name}), n={args.degree}")
+        print(tape.render(input_bound=args.input_range))
+        if args.emit_fn:
+            plan = tape.plan_for(args.input_range)
+            print()
+            print(plan.source())
+        return 0
 
     if args.command == "bench-workloads":
         from repro.workloads.traffic import (

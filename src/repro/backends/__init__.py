@@ -5,8 +5,12 @@ compiler run on a named :class:`~repro.backends.base.ExecutionBackend`,
 
 * ``reference`` — the SEAL-style :class:`~repro.fhe.evaluator.Evaluator`
   interpreter (bit-compatibility baseline);
-* ``vector-vm`` — a linearized register VM that executes a whole batch of
-  input sets as stacked numpy arrays in one pass over the instruction tape;
+* ``vector-vm`` — a tape-compiled register VM: circuits are backend-compiled
+  (:mod:`repro.backends.tapeopt`) into fused, alias-free superinstruction
+  tapes over a liveness-colored register arena, then executed for a whole
+  batch of input sets as stacked numpy arrays in one in-place sweep;
+* ``vector-vm-interp`` — the same VM with tape compilation disabled (the
+  legacy per-instruction interpreter), for ablations and benchmarks;
 * ``cost-sim`` — a no-crypto simulator running only the noise/latency
   models for design-space exploration and RL reward evaluation.
 
@@ -37,6 +41,13 @@ from repro.backends.registry import (
     register_backend,
     resolve_backend,
 )
+from repro.backends.tape import CompiledTape, TapeOp, TapePlan
+from repro.backends.tapeopt import (
+    compile_tape,
+    get_compiled_tape,
+    reset_tape_cache,
+    tape_cache_stats,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -54,4 +65,11 @@ __all__ = [
     "resolve_backend",
     "default_backend_name",
     "DEFAULT_BACKEND",
+    "CompiledTape",
+    "TapeOp",
+    "TapePlan",
+    "compile_tape",
+    "get_compiled_tape",
+    "tape_cache_stats",
+    "reset_tape_cache",
 ]

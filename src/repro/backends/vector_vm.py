@@ -1,31 +1,43 @@
-"""The batched vector VM: one pass over a flat instruction tape serves B users.
+"""The batched vector VM: compiled tapes serve B users in one sweep.
 
-The circuit's SSA instruction list *is* already a linear tape over dense
-register ids, so the VM skips ciphertext objects entirely and maps each
-register to a ``(B, n)`` int64 array — one row per input set.  A single
-sweep over the tape then executes the whole batch: every homomorphic
-operation becomes one vectorized numpy operation on the stacked rows, which
-amortises the per-instruction interpreter overhead (method dispatch,
-ciphertext allocation, logging) across all B users instead of paying it B
-times.
+The circuit's SSA instruction list is first **backend-compiled** by
+:mod:`repro.backends.tapeopt` into an optimized executable tape
+(:class:`~repro.backends.tape.CompiledTape`): alias-free, superinstruction
+fused, liveness-colored onto a fixed register arena of ``(B, n)`` int64
+buffers, with all noise/latency accounting replayed once at compile time.
+Executing a batch is then a single pass of in-place numpy ops over the
+arena — no ciphertext objects, no per-instruction ledger calls, and (at the
+default opt level) no Python dispatch either: a per-tape specializer emits
+one straight-line generated function per (tape, reduction plan).
 
-Two properties keep the VM bit-compatible with the reference backend:
+Compiled tapes are memoized process-wide by circuit fingerprint + BFV
+parameters (:func:`repro.backends.tapeopt.get_compiled_tape`), so the
+JobServer's coalesced batches reuse tapes across ticks and across backend
+instances.
+
+Three opt levels, selectable via ``VectorVMBackend(opt_level=...)``:
+
+* ``2`` (default) — optimized tape run through the per-tape specialized
+  function;
+* ``1`` — optimized tape run through the generic dispatch interpreter
+  (:func:`repro.backends.tape._interpret`);
+* ``0`` — the legacy per-instruction stacked-rows interpreter, registered
+  separately as the ``vector-vm-interp`` backend so benchmarks and the
+  ``vm-tapeopt`` ablation study can toggle the optimization off.
+
+Two properties keep every level bit-compatible with the reference backend:
 
 * **Congruence-preserving lazy reduction** — slot values are kept as signed
-  int64 *centred* residues (a mask slot holding ``t - 1`` is stored as
-  ``-1``) and only reduced modulo ``t`` when a tracked magnitude bound
-  approaches the int64 range, whereas the reference evaluator reduces after
-  every operation.  Centred storage makes the bounds track the actual data
-  magnitudes — for the benchmark suites (small integer inputs, 0/1 masks)
-  whole circuits execute without a single mid-tape reduction, which matters
-  because an int64 ``%`` costs an order of magnitude more than an add.  All
-  intermediate values stay congruent mod ``t``, so the final centred decode
-  is bit-identical.
-* **Shared accounting** — noise budgets are tracked per register through
-  the same :class:`~repro.backends.base.NoiseLedger` formulas the evaluator
-  uses, in the same operation order, and latency/operation counts go
-  through the same :class:`~repro.fhe.meter.ExecutionMeter`; the figures
-  are therefore float-for-float identical to a reference run.
+  int64 *centred* residues and only reduced modulo ``t`` when a tracked
+  magnitude bound approaches the int64 range.  All intermediate values stay
+  congruent mod ``t`` and the final decode is centred mod ``t``, so
+  reduction *placement* (which the tape precomputes per input-magnitude
+  bucket) can never change decoded outputs.
+* **Shared accounting** — noise budgets and latency go through the same
+  :class:`~repro.backends.base.NoiseLedger` /
+  :class:`~repro.fhe.meter.ExecutionMeter` formulas in the same operation
+  order as the reference evaluator.  Accounting is input independent, so
+  the tape replays it once at compile time, float-for-float identical.
 
 Simulated latency models the *circuit*, so every report in a batch carries
 the same ``latency_ms`` as a single reference execution; the VM's win is
@@ -40,6 +52,7 @@ import numpy as np
 
 from repro.backends.base import BaseBackend, NoiseLedger
 from repro.backends.registry import register_backend
+from repro.backends.tapeopt import get_compiled_tape, scheduling_cost_ms
 from repro.compiler.circuit import CircuitProgram, Opcode
 from repro.compiler.executor import ExecutionReport, Value
 from repro.core.exceptions import CompilationError
@@ -55,7 +68,10 @@ _REDUCE_LIMIT = 1 << 62
 
 @register_backend(
     "vector-vm",
-    description="linearized register VM executing B input sets as stacked numpy rows",
+    description=(
+        "tape-compiled register VM: fused superinstructions over a "
+        "liveness-colored arena, executing B input sets as stacked numpy rows"
+    ),
     use_when="batched throughput: many users/trials of one circuit per tape pass",
 )
 class VectorVMBackend(BaseBackend):
@@ -63,6 +79,9 @@ class VectorVMBackend(BaseBackend):
 
     name = "vector-vm"
     produces_outputs = True
+
+    def __init__(self, opt_level: int = 2) -> None:
+        self.opt_level = int(opt_level)
 
     def execute(
         self,
@@ -86,6 +105,41 @@ class VectorVMBackend(BaseBackend):
             return []
         if params is None:
             params = BFVParameters.default()
+        if self.opt_level <= 0:
+            return self._execute_legacy(program, inputs_list, params)
+        tape = get_compiled_tape(program, params)
+        return tape.execute_batch(
+            inputs_list,
+            specialize=self.opt_level >= 2,
+            backend_name=self.name,
+        )
+
+    def scheduling_cost_ms(
+        self,
+        program: CircuitProgram,
+        params: BFVParameters,
+        latency_model,
+    ) -> float:
+        """Analytical scheduling weight refined by the compiled tape.
+
+        At opt level >= 1 the executed tape is shorter than the instruction
+        list (fusion, alias/dead elimination), so scheduling weights scale by
+        the executed/original op ratio; the legacy interpreter runs the tape
+        as written and keeps the raw model.
+        """
+        if self.opt_level <= 0:
+            return program.estimated_latency_ms(latency_model)
+        return scheduling_cost_ms(program, params, latency_model)
+
+    # ------------------------------------------------------------------
+    # opt level 0: the legacy per-instruction stacked-rows interpreter
+    # ------------------------------------------------------------------
+    def _execute_legacy(
+        self,
+        program: CircuitProgram,
+        inputs_list: Sequence[Mapping[str, Value]],
+        params: BFVParameters,
+    ) -> List[ExecutionReport]:
         t = params.plain_modulus
         n = params.slot_count
         half = t // 2
@@ -99,15 +153,27 @@ class VectorVMBackend(BaseBackend):
         bounds: List[int] = [0] * count
         encrypted_inputs = 0
 
-        # Liveness: drop each register's array after its last use so the
-        # working set stays cache-sized (holding every SSA register alive
-        # costs ~100 us/op in page faults at realistic batch dimensions).
+        # Aliases are explicit: ROTATE step==0 and OUTPUT produce no array of
+        # their own, they resolve to their operand's canonical register.
+        # Binding registers[dst] to the operand's array object (the old
+        # behaviour) corrupts results the moment an in-place op lands on
+        # either register; the canonical map cannot.
+        canon = list(range(count))
+        for instruction in program.instructions:
+            if instruction.opcode is Opcode.OUTPUT or (
+                instruction.opcode is Opcode.ROTATE and instruction.step == 0
+            ):
+                canon[instruction.result] = canon[instruction.operands[0]]
+
+        # Liveness: drop each canonical register's array after its last use
+        # so the working set stays cache-sized (holding every SSA register
+        # alive costs ~100 us/op in page faults at realistic batch sizes).
         last_use = [0] * count
         for instruction in program.instructions:
             for operand in instruction.operands:
-                last_use[operand] = instruction.result
+                last_use[canon[operand]] = instruction.result
         for register, _, _ in program.outputs:
-            last_use[register] = count  # outputs live until decode
+            last_use[canon[register]] = count  # outputs live until decode
 
         def centred(value: int) -> int:
             residue = int(value) % t
@@ -163,19 +229,19 @@ class VectorVMBackend(BaseBackend):
                 registers[dst] = plain
                 bounds[dst] = bound
             elif opcode is Opcode.ADD or opcode is Opcode.SUB:
-                lhs, rhs = instruction.operands
+                lhs, rhs = canon[instruction.operands[0]], canon[instruction.operands[1]]
                 if bounds[lhs] + bounds[rhs] >= _REDUCE_LIMIT:
                     reduce_register(lhs)
                     reduce_register(rhs)
                 if opcode is Opcode.ADD:
                     registers[dst] = registers[lhs] + registers[rhs]
-                    ledger.add(dst, lhs, rhs, "add")
+                    ledger.add(dst, *instruction.operands, "add")
                 else:
                     registers[dst] = registers[lhs] - registers[rhs]
-                    ledger.add(dst, lhs, rhs, "sub")
+                    ledger.add(dst, *instruction.operands, "sub")
                 bounds[dst] = bounds[lhs] + bounds[rhs]
             elif opcode is Opcode.MUL:
-                lhs, rhs = instruction.operands
+                lhs, rhs = canon[instruction.operands[0]], canon[instruction.operands[1]]
                 if bounds[lhs] * bounds[rhs] >= _REDUCE_LIMIT:
                     # Reducing the larger operand is usually enough.
                     larger, smaller = (
@@ -186,49 +252,45 @@ class VectorVMBackend(BaseBackend):
                         reduce_register(smaller)
                 registers[dst] = registers[lhs] * registers[rhs]
                 bounds[dst] = bounds[lhs] * bounds[rhs]
-                ledger.multiply_relinearize(dst, lhs, rhs)
+                ledger.multiply_relinearize(dst, *instruction.operands)
             elif opcode is Opcode.ADD_PLAIN or opcode is Opcode.SUB_PLAIN:
-                lhs, plain = instruction.operands
+                lhs, plain = canon[instruction.operands[0]], canon[instruction.operands[1]]
                 if bounds[lhs] + bounds[plain] >= _REDUCE_LIMIT:
                     reduce_register(lhs)
                 if opcode is Opcode.ADD_PLAIN:
                     registers[dst] = registers[lhs] + registers[plain]
-                    ledger.add_plain(dst, lhs, "add")
+                    ledger.add_plain(dst, instruction.operands[0], "add")
                 else:
                     registers[dst] = registers[lhs] - registers[plain]
-                    ledger.add_plain(dst, lhs, "sub")
+                    ledger.add_plain(dst, instruction.operands[0], "sub")
                 bounds[dst] = bounds[lhs] + bounds[plain]
             elif opcode is Opcode.MUL_PLAIN:
-                lhs, plain = instruction.operands
+                lhs, plain = canon[instruction.operands[0]], canon[instruction.operands[1]]
                 if bounds[lhs] * bounds[plain] >= _REDUCE_LIMIT:
                     reduce_register(lhs)
                 registers[dst] = registers[lhs] * registers[plain]
                 bounds[dst] = bounds[lhs] * bounds[plain]
-                ledger.multiply_plain(dst, lhs)
+                ledger.multiply_plain(dst, instruction.operands[0])
             elif opcode is Opcode.NEGATE:
-                operand = instruction.operands[0]
+                operand = canon[instruction.operands[0]]
                 registers[dst] = -registers[operand]
                 bounds[dst] = bounds[operand]
-                ledger.negate(dst, operand)
+                ledger.negate(dst, instruction.operands[0])
             elif opcode is Opcode.ROTATE:
-                operand = instruction.operands[0]
+                operand = canon[instruction.operands[0]]
                 step = instruction.step
-                if step == 0:
-                    registers[dst] = registers[operand]
-                else:
+                if step != 0:
                     registers[dst] = np.roll(registers[operand], -step, axis=1)
-                bounds[dst] = bounds[operand]
-                ledger.rotate(dst, operand, step)
+                    bounds[dst] = bounds[operand]
+                ledger.rotate(dst, instruction.operands[0], step)
             elif opcode is Opcode.OUTPUT:
-                operand = instruction.operands[0]
-                registers[dst] = registers[operand]
-                bounds[dst] = bounds[operand]
-                ledger.alias(dst, operand)
+                ledger.alias(dst, instruction.operands[0])
             else:  # pragma: no cover - defensive
                 raise CompilationError(f"unknown opcode {opcode}")
             for operand in instruction.operands:
-                if last_use[operand] == dst:
-                    registers[operand] = None
+                resolved = canon[operand]
+                if last_use[resolved] == dst:
+                    registers[resolved] = None
 
         # -- decode outputs and assemble one report per input set ------------
         initial_budget = params.initial_noise_budget
@@ -248,7 +310,7 @@ class VectorVMBackend(BaseBackend):
             for _ in range(batch)
         ]
         for register, name, length in program.outputs:
-            array = registers[register]
+            array = registers[canon[register]]
             if not ledger.is_ciphertext(register):
                 raw = array[:length] % t
                 decoded = [int(v - t) if v > half else int(v) for v in raw]
@@ -271,3 +333,18 @@ class VectorVMBackend(BaseBackend):
             report.consumed_noise_budget = consumed
             report.noise_budget_exhausted = exhausted
         return reports
+
+
+@register_backend(
+    "vector-vm-interp",
+    description=(
+        "the vector VM with tape compilation disabled: legacy per-instruction "
+        "stacked-rows interpreter (opt_level=0)"
+    ),
+    use_when="ablating the tape optimizer (vm-tapeopt study) and opt on/off benchmarks",
+)
+def _vector_vm_interp(**options):
+    options.setdefault("opt_level", 0)
+    backend = VectorVMBackend(**options)
+    backend.name = "vector-vm-interp"
+    return backend

@@ -210,6 +210,9 @@ class JobServer:
         self._execution_services: Dict[str, ExecutionService] = {}
         self._thread: Optional[threading.Thread] = None
         self._stop_event = threading.Event()
+        #: Last-seen snapshot of the process-wide compiled-tape memo counters
+        #: (repro.backends.tapeopt); per-tick deltas land in telemetry.
+        self._tape_stats_seen: Dict[str, int] = {}
         self.telemetry.gauge("workers").set(workers)
         self._recover()
 
@@ -540,6 +543,7 @@ class JobServer:
 
         self.telemetry.gauge("jobs_running").set(0)
         self._update_queue_depth()
+        self._sync_tape_stats()
         wall = time.perf_counter() - tick_start
         self.telemetry.histogram("tick_s").observe(wall)
         # Fold this tick's per-job wall time into the admission fallback
@@ -551,6 +555,24 @@ class JobServer:
             else 0.3 * per_job + 0.7 * self._service_s_ewma
         )
         return terminal
+
+    def _sync_tape_stats(self) -> None:
+        """Fold the compiled-tape memo's counter deltas into telemetry.
+
+        The memo (:func:`repro.backends.tapeopt.get_compiled_tape`) is
+        process-wide and shared with direct-path callers, so the server
+        tracks the last snapshot it saw and records only the delta —
+        ``tape_cache_hits`` / ``tape_compiles`` then count this server's
+        observation window, not the whole process history.
+        """
+        from repro.backends.tapeopt import tape_cache_stats
+
+        stats = tape_cache_stats()
+        for counter, key in (("tape_cache_hits", "hits"), ("tape_compiles", "compiles")):
+            delta = stats[key] - self._tape_stats_seen.get(key, 0)
+            if delta > 0:
+                self.telemetry.counter(counter).inc(delta)
+            self._tape_stats_seen[key] = stats[key]
 
     # -- compilation --------------------------------------------------------
     def _compile_service(self, job: Job) -> CompilationService:

@@ -180,6 +180,21 @@ class ExecutionService:
         return f"{prefix}::{program_fingerprint(program)}"
 
     # -- estimates ----------------------------------------------------------
+    def static_cost_ms(self, program: CircuitProgram) -> float:
+        """Analytical scheduling cost of one input set, in milliseconds.
+
+        Backends that run something other than the raw instruction list can
+        expose ``scheduling_cost_ms(program, params, latency_model)`` — the
+        tape-compiled vector VM scales the model by its fused-tape op ratio —
+        and the service prices estimates and calibration against what the
+        backend will actually execute.  Everything else falls back to the
+        circuit's plain :meth:`~CircuitProgram.estimated_latency_ms`.
+        """
+        hook = getattr(self.backend, "scheduling_cost_ms", None)
+        if hook is not None:
+            return hook(program, self.params, self._latency_model)
+        return program.estimated_latency_ms(self._latency_model)
+
     def estimate_ms(self, program: CircuitProgram) -> Tuple[float, str]:
         """Scheduling weight for one input set: ``(milliseconds, source)``.
 
@@ -190,14 +205,14 @@ class ExecutionService:
         unconditionally.
         """
         if not self.prefer_measured:
-            return program.estimated_latency_ms(self._latency_model), "model"
+            return self.static_cost_ms(program), "model"
         key = self.job_key(program)
         with self._measured_lock:
             measured = self._measured.get(key)
             if measured is not None:
                 self._measured.move_to_end(key)  # LRU touch
                 return measured * 1000.0, "measured"
-        model_ms = program.estimated_latency_ms(self._latency_model)
+        model_ms = self.static_cost_ms(program)
         calibration = self._calibration
         if calibration is not None:
             return model_ms * calibration, "model"
@@ -211,7 +226,7 @@ class ExecutionService:
             return
         per_item = wall_time_s / batch_size
         key = self.job_key(program)
-        model_ms = program.estimated_latency_ms(self._latency_model)
+        model_ms = self.static_cost_ms(program)
         with self._measured_lock:
             previous = self._measured.get(key)
             if previous is None:

@@ -409,14 +409,15 @@ class TestCalibrationRegime:
         service = ExecutionService("vector-vm", params=PARAMS)
         circuits = self._distinct_circuits(12)
         probe = next(r for b, r in compiled_suite if b.name == "max_3").circuit
-        model_ms = {
-            c.name: c.estimated_latency_ms(service._latency_model) for c in circuits
-        }
+        # The service calibrates against its backend-aware static cost (the
+        # tape-compiled VM scales the raw model by its fused-op ratio), so
+        # regime measurements are expressed in the same unit.
+        model_ms = {c.name: service.static_cost_ms(c) for c in circuits}
         # Early regime: measured times equal the model (ratio 1.0).
         for circuit in circuits[:4]:
             service.record_measurement(circuit, model_ms[circuit.name] / 1000.0, 1)
         early, _ = service.estimate_ms(probe)
-        probe_model = probe.estimated_latency_ms(service._latency_model)
+        probe_model = service.static_cost_ms(probe)
         assert early == pytest.approx(probe_model, rel=0.05)
         # Shifted regime: everything now runs 10x slower than the model.
         for circuit in circuits[4:]:
@@ -433,7 +434,7 @@ class TestCalibrationRegime:
     def test_remeasurement_does_not_move_the_calibration(self, compiled_suite):
         service = ExecutionService("vector-vm", params=PARAMS)
         (circuit,) = [c for c in self._distinct_circuits(1)]
-        model_s = circuit.estimated_latency_ms(service._latency_model) / 1000.0
+        model_s = service.static_cost_ms(circuit) / 1000.0
         probe = next(r for b, r in compiled_suite if b.name == "max_3").circuit
         service.record_measurement(circuit, model_s, 1)
         before, _ = service.estimate_ms(probe)

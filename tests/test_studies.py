@@ -63,6 +63,7 @@ class TestComponents:
         for expected in (
             "compiler-opt",
             "vector-backend",
+            "vm-tapeopt",
             "coalescing",
             "compile-cache",
             "measured-scheduler",
