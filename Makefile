@@ -16,9 +16,10 @@ benchmarks:
 # (mixed compile+execute workload, coalescing asserted via telemetry), the
 # workload suite (mixed traffic over a persistent state dir, bit-identical
 # to the direct api path), the overload hardening (bounded queue sheds
-# under a burst while completing and accounting for every job) and the
+# under a burst while completing and accounting for every job), the
 # study engine (interrupted ablation study resumes without re-running
-# finished replicates).
+# finished replicates) and the tracing pipeline (mixed burst with tracing
+# on: connected per-job traces, Perfetto-loadable export, stage report).
 smoke:
 	$(PYTHON) -m pytest tests -x -q
 	$(PYTHON) scripts/service_smoke.py --workers 2
@@ -27,6 +28,7 @@ smoke:
 	$(PYTHON) scripts/workload_smoke.py
 	$(PYTHON) scripts/overload_smoke.py
 	$(PYTHON) scripts/study_smoke.py
+	$(PYTHON) scripts/trace_smoke.py
 
 # Fig. 5 execution-time series driven through the batched vector VM.
 bench-smoke:

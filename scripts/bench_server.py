@@ -19,6 +19,12 @@ path verifies outputs against the plaintext reference (the server does so
 internally).  ``--check`` exits non-zero when the coalesced server fails to
 beat the one-at-a-time reference path by ``--min-speedup`` (the acceptance
 bar is 3x).
+
+A final *untimed* pass repeats the server workload with tracing enabled and
+rolls the spans up into ``stage_breakdown`` — per-stage self time over the
+traced window (see ``repro trace report``).  The tracing overhead stays out
+of every timed row; ``--check`` also requires the named stages to attribute
+at least ``--min-coverage`` (default 95%) of the traced server-path wall.
 """
 
 from __future__ import annotations
@@ -56,6 +62,12 @@ def main() -> int:
         type=float,
         default=3.0,
         help="required coalesced-server speedup over one-at-a-time api.execute",
+    )
+    parser.add_argument(
+        "--min-coverage",
+        type=float,
+        default=0.95,
+        help="required fraction of traced server wall attributed to named stages",
     )
     args = parser.parse_args()
 
@@ -110,6 +122,35 @@ def main() -> int:
                     )
         return time.perf_counter() - start
 
+    def traced_breakdown() -> dict:
+        """One untimed traced server pass -> the per-stage rollup."""
+        from repro.obs.export import stage_rollup
+
+        server = JobServer(
+            backend="vector-vm",
+            compiler=args.compiler,
+            workers=args.workers,
+            tracing=True,
+        )
+        try:
+            for benchmark in benchmarks:
+                server.submit(Job(source=sources[benchmark.name], seed=10_000))
+            server.drain()
+            # Drop the warmup spans so the rollup window is exactly the
+            # submit-everything-and-drain section the timed pass measures.
+            server.tracer.clear()
+            start = time.perf_counter()
+            for benchmark in benchmarks:
+                for user in range(args.users):
+                    server.submit(Job(source=sources[benchmark.name], seed=user))
+            server.drain()
+            wall = time.perf_counter() - start
+            rollup = stage_rollup(server.tracer.spans(), window_s=wall)
+        finally:
+            server.close()
+        rollup["wall_s"] = wall
+        return rollup
+
     walls = {"server_coalesced": min(server_pass() for _ in range(args.repeats))}
     walls["api_execute_reference"] = min(
         one_at_a_time("reference") for _ in range(args.repeats)
@@ -117,6 +158,8 @@ def main() -> int:
     walls["api_execute_vector_vm"] = min(
         one_at_a_time("vector-vm") for _ in range(args.repeats)
     )
+
+    breakdown = traced_breakdown()
 
     speedup_reference = walls["api_execute_reference"] / walls["server_coalesced"]
     speedup_uncoalesced = walls["api_execute_vector_vm"] / walls["server_coalesced"]
@@ -134,6 +177,7 @@ def main() -> int:
         "speedup_vs_reference_one_at_a_time": speedup_reference,
         "speedup_vs_vector_vm_one_at_a_time": speedup_uncoalesced,
         "server_telemetry": server_pass.telemetry,
+        "stage_breakdown": breakdown,
     }
     write_bench_json(args.out, payload)
 
@@ -144,15 +188,33 @@ def main() -> int:
         f"reference, {speedup_uncoalesced:.1f}x vs one-at-a-time vector-vm "
         f"({total_jobs} jobs) -> {args.out}"
     )
+    print(
+        "stage breakdown (traced pass, {wall:.3f} s): ".format(
+            wall=breakdown["wall_s"]
+        )
+        + ", ".join(
+            f"{row['stage']} {row['self_s'] * 1000.0:.1f}ms"
+            for row in breakdown["stages"]
+        )
+    )
+    print(f"stage coverage: {breakdown['coverage']:.1%} of traced server wall")
 
+    failed = False
     if args.check and speedup_reference < args.min_speedup:
         print(
             f"FAIL: coalesced server speedup {speedup_reference:.2f}x is below "
             f"the required {args.min_speedup}x",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if args.check and breakdown["coverage"] < args.min_coverage:
+        print(
+            f"FAIL: stage breakdown attributes {breakdown['coverage']:.1%} of the "
+            f"traced server wall, below the required {args.min_coverage:.0%}",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -20,7 +20,14 @@ Subcommands:
   up by the serving process, or by a later ``serve --drain``);
 * ``jobs``    — list the jobs of a ``--state-dir`` with their status
   (``--status`` accepts a comma-separated list, e.g. ``shed,failed``);
-* ``metrics`` — print the server's latest telemetry snapshot;
+* ``metrics`` — print the server's latest telemetry snapshot; ``--watch``
+  re-reads it on an interval and ``--delta`` shows rates between snapshots
+  (both keyed off the snapshot sequence number);
+* ``trace``   — work with the span traces of a ``--trace`` serving run:
+  ``trace export`` writes a Chrome/Perfetto-loadable trace JSON and
+  ``trace report`` prints the per-stage latency/self-time rollup;
+* ``top``     — live ops console over the metrics snapshot: queue depth,
+  SLO compliance, coalescing rate and per-stage p50/p99;
 * ``study``   — ablation studies on the job server: ``study run`` executes
   a baseline + one-component-off matrix with replicates, ``study resume``
   finishes an interrupted study without re-running finished replicates,
@@ -39,6 +46,11 @@ Sources are s-expressions in the paper's textual IR, e.g.::
     python -m repro serve --state-dir .state --drain
     python -m repro jobs --state-dir .state --status shed,failed
     python -m repro metrics --state-dir .state
+    python -m repro metrics --state-dir .state --watch --interval 2
+    python -m repro serve --state-dir .state --drain --trace
+    python -m repro trace report --state-dir .state
+    python -m repro trace export --state-dir .state --out trace.json
+    python -m repro top --state-dir .state --watch
     python -m repro study components
     python -m repro study run --study-dir .study --replicates 3
     python -m repro study resume --study-dir .study
@@ -346,6 +358,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PRIO=WAIT[:RUN]",
         help="per-priority latency budget in seconds (repeatable), e.g. 1=0.5:2",
     )
+    serve_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record end-to-end spans to traces.jsonl (see `repro trace`)",
+    )
 
     submit_parser = subparsers.add_parser(
         "submit", help="queue a compile/execute job into a state directory"
@@ -413,6 +430,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics_parser.add_argument(
         "--state-dir", required=True, help="directory of the persistent job store"
+    )
+    metrics_parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="re-read the snapshot on an interval; prints only when the "
+        "sequence number advances (Ctrl-C to stop)",
+    )
+    metrics_parser.add_argument(
+        "--delta",
+        action="store_true",
+        help="with --watch: print counter deltas and rates between snapshots "
+        "instead of the raw payload",
+    )
+    metrics_parser.add_argument(
+        "--interval", type=float, default=1.0, help="--watch poll cadence in seconds"
+    )
+    metrics_parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="with --watch: exit after this many updates (default: until Ctrl-C)",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="export or summarize the span traces of a --trace serving run"
+    )
+    trace_subparsers = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_export = trace_subparsers.add_parser(
+        "export", help="write a Chrome trace-event JSON (chrome://tracing, Perfetto)"
+    )
+    trace_export.add_argument(
+        "--state-dir", required=True, help="directory of the persistent job store"
+    )
+    trace_export.add_argument(
+        "--out", default=None, help="output path (default: <state-dir>/trace.json)"
+    )
+    trace_report = trace_subparsers.add_parser(
+        "report", help="per-stage latency rollup with self-time attribution"
+    )
+    trace_report.add_argument(
+        "--state-dir", required=True, help="directory of the persistent job store"
+    )
+
+    top_parser = subparsers.add_parser(
+        "top", help="ops console over the metrics snapshot (queue, SLOs, stages)"
+    )
+    top_parser.add_argument(
+        "--state-dir", required=True, help="directory of the persistent job store"
+    )
+    top_parser.add_argument(
+        "--watch", action="store_true", help="refresh on an interval (Ctrl-C to stop)"
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=1.0, help="--watch refresh cadence in seconds"
+    )
+    top_parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="with --watch: exit after this many refreshes",
     )
 
     study_parser = subparsers.add_parser(
@@ -639,6 +716,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             aging_interval_s=args.aging_interval,
             slo=slo,
             admission=args.admission,
+            tracing=args.trace,
             start=False,
         )
         try:
@@ -714,15 +792,126 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "metrics":
         import os as _os
+        import time as _time
 
+        from repro.obs.console import read_snapshot, render_delta, snapshot_delta
         from repro.server.store import JobStore
 
         path = JobStore(args.state_dir).metrics_path
         if not _os.path.exists(path):
             print(f"no metrics snapshot at {path} (has the server run?)", file=sys.stderr)
             return 1
-        with open(path, "r", encoding="utf-8") as handle:
-            print(handle.read().rstrip())
+        if not args.watch:
+            with open(path, "r", encoding="utf-8") as handle:
+                print(handle.read().rstrip())
+            return 0
+        previous = None
+        updates = 0
+        try:
+            while args.count is None or updates < args.count:
+                snapshot = read_snapshot(path)
+                if snapshot is not None:
+                    meta = snapshot.get("meta", {})
+                    # Only print when the writer advanced; the sequence number
+                    # makes re-reads of the same snapshot cheap to skip (pid +
+                    # wall time disambiguate a restarted server whose fresh
+                    # sequence collides with the old one).
+                    stamp = (
+                        meta.get("pid"),
+                        meta.get("sequence", -1),
+                        meta.get("wall_time"),
+                    )
+                    last_meta = previous.get("meta", {}) if previous is not None else None
+                    last = (
+                        (
+                            last_meta.get("pid"),
+                            last_meta.get("sequence", -1),
+                            last_meta.get("wall_time"),
+                        )
+                        if last_meta is not None
+                        else None
+                    )
+                    if last is None or stamp != last:
+                        if args.delta and previous is not None:
+                            print(render_delta(snapshot_delta(previous, snapshot)))
+                        elif not args.delta:
+                            print(json.dumps(snapshot, indent=2, sort_keys=True))
+                        previous = snapshot
+                        updates += 1
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    if args.command == "trace":
+        import os as _os
+
+        from repro.obs.export import (
+            export_chrome_trace,
+            render_stage_report,
+            stage_rollup,
+        )
+        from repro.obs.trace import load_spans
+        from repro.server.store import JobStore
+
+        path = JobStore(args.state_dir).trace_path
+        if not _os.path.exists(path):
+            print(
+                f"no trace at {path} (serve with --trace to record spans)",
+                file=sys.stderr,
+            )
+            return 1
+        spans = load_spans(path)
+        if not spans:
+            print(f"trace at {path} holds no spans", file=sys.stderr)
+            return 1
+        if args.trace_command == "export":
+            out = args.out or _os.path.join(args.state_dir, "trace.json")
+            events = export_chrome_trace(spans, out)
+            print(f"wrote {events} event(s) from {len(spans)} span(s) to {out}")
+            print("open in chrome://tracing or https://ui.perfetto.dev")
+            return 0
+        # report: server-path attribution over stage/tick spans, then the
+        # per-job lifecycle view (queue_wait / run) from the job mirrors.
+        print(render_stage_report(stage_rollup(spans)))
+        job_rollup = stage_rollup(spans, cats=("job",))
+        if job_rollup["stages"]:
+            print()
+            print("job lifecycle (per-job spans, overlapping — not wall-time shares):")
+            print(render_stage_report(job_rollup))
+        return 0
+
+    if args.command == "top":
+        import os as _os
+        import time as _time
+
+        from repro.obs.console import read_snapshot, render_top
+        from repro.server.store import JobStore
+
+        path = JobStore(args.state_dir).metrics_path
+        if not _os.path.exists(path):
+            print(f"no metrics snapshot at {path} (has the server run?)", file=sys.stderr)
+            return 1
+        previous = None
+        refreshes = 0
+        try:
+            while True:
+                snapshot = read_snapshot(path)
+                if snapshot is None:
+                    print(f"unreadable snapshot at {path}", file=sys.stderr)
+                    return 1
+                if args.watch:
+                    # ANSI clear + home, like watch(1); plain print otherwise.
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                print(render_top(snapshot, previous, source=args.state_dir))
+                sys.stdout.flush()
+                refreshes += 1
+                if not args.watch or (args.count is not None and refreshes >= args.count):
+                    break
+                previous = snapshot
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
         return 0
 
     if args.command == "study":

@@ -462,6 +462,7 @@ def serve(
     aging_interval_s: Optional[float] = None,
     slo=None,
     admission: str = "off",
+    tracing: bool = False,
     start: bool = True,
 ):
     """A :class:`~repro.server.server.JobServer` for this process.
@@ -476,7 +477,9 @@ def serve(
     The overload knobs (``queue_capacity``, ``per_priority_capacity``,
     ``aging_interval_s``, ``slo``, ``admission``) pass straight through to
     :class:`~repro.server.server.JobServer`; their defaults keep the server
-    unbounded and admission-free.
+    unbounded and admission-free.  ``tracing=True`` turns on end-to-end span
+    tracing (written to ``traces.jsonl`` under ``state_dir``; see
+    :mod:`repro.obs` and ``repro trace``).
     """
     from repro.server.server import JobServer
 
@@ -493,6 +496,7 @@ def serve(
         aging_interval_s=aging_interval_s,
         slo=slo,
         admission=admission,
+        tracing=tracing,
     )
     if start:
         server.start()

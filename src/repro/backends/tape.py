@@ -35,6 +35,7 @@ identical to metering every execution.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -51,7 +52,10 @@ __all__ = [
     "TapeOutput",
     "TapeAccounting",
     "TapePlan",
+    "TapeProfile",
     "CompiledTape",
+    "set_tape_profiling",
+    "tape_profiling_enabled",
 ]
 
 #: Reduce operands once a projected magnitude bound reaches this limit; the
@@ -69,6 +73,75 @@ _NO_ALIAS_ACC = frozenset({"mul_add", "mul_sub_l", "mul_sub_r", "rot_mul_add"})
 #: steady state (one server tick in flight plus one warm spare) without
 #: letting a long-lived tape pin unbounded memory.
 _POOL_DEPTH = 2
+
+#: Opt-in per-superinstruction profiling.  Off by default; the only cost on
+#: the disabled path is one module-global boolean check per *batch* (not per
+#: op), so steady-state throughput is unaffected.
+_PROFILING = False
+
+
+def set_tape_profiling(enabled: bool) -> bool:
+    """Toggle per-superinstruction tape profiling; returns the old value.
+
+    When enabled, :meth:`CompiledTape.execute_batch` routes through the
+    dispatch interpreter with a ``perf_counter_ns`` sample around every tape
+    op, accumulating counts and cumulative nanoseconds per opcode into the
+    tape's :class:`TapeProfile`.  Outputs stay bit-identical (the profiled
+    path runs the exact same in-place numpy ops in the exact same order as
+    opt level 1, whose parity with the specialized path is pinned by tests)
+    and accounting stays float-identical (it is replayed at compile time,
+    independent of the execution path).
+    """
+    global _PROFILING
+    previous = _PROFILING
+    _PROFILING = bool(enabled)
+    return previous
+
+
+def tape_profiling_enabled() -> bool:
+    """Whether per-superinstruction profiling is currently on."""
+    return _PROFILING
+
+
+class TapeProfile:
+    """Aggregated per-opcode timings for one tape (thread-safe)."""
+
+    __slots__ = ("_lock", "op_counts", "op_ns", "batches", "rows")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.op_counts: Dict[str, int] = {}
+        self.op_ns: Dict[str, int] = {}
+        self.batches = 0
+        self.rows = 0
+
+    def observe(self, counts: Mapping[str, int], elapsed_ns: Mapping[str, int], rows: int) -> None:
+        """Fold one profiled batch into the aggregate."""
+        with self._lock:
+            self.batches += 1
+            self.rows += rows
+            for kind, count in counts.items():
+                self.op_counts[kind] = self.op_counts.get(kind, 0) + count
+            for kind, ns in elapsed_ns.items():
+                self.op_ns[kind] = self.op_ns.get(kind, 0) + ns
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot: per-opcode count/total_ns/mean_ns + totals."""
+        with self._lock:
+            ops = {
+                kind: {
+                    "count": count,
+                    "total_ns": self.op_ns.get(kind, 0),
+                    "mean_ns": self.op_ns.get(kind, 0) / count if count else 0.0,
+                }
+                for kind, count in sorted(self.op_counts.items())
+            }
+            return {
+                "batches": self.batches,
+                "rows": self.rows,
+                "total_ns": sum(self.op_ns.values()),
+                "ops": ops,
+            }
 
 
 @dataclass(frozen=True)
@@ -215,6 +288,8 @@ class CompiledTape:
         self._plans: Dict[int, TapePlan] = {}
         self._pool: Dict[int, List[List[np.ndarray]]] = {}
         self._lock = threading.Lock()
+        #: Lazily created on the first profiled batch; ``None`` until then.
+        self.profile: Optional[TapeProfile] = None
 
     # -- reduction planning --------------------------------------------------
     def plan_for(self, input_bound: int) -> TapePlan:
@@ -322,6 +397,21 @@ class CompiledTape:
         with self._lock:
             return sum(len(arenas) for arenas in self._pool.values())
 
+    # -- profiling -----------------------------------------------------------
+    def _profile(self) -> TapeProfile:
+        profile = self.profile
+        if profile is None:
+            with self._lock:
+                profile = self.profile
+                if profile is None:
+                    profile = self.profile = TapeProfile()
+        return profile
+
+    def profile_snapshot(self) -> Optional[Dict[str, object]]:
+        """The aggregated opcode profile, or ``None`` if never profiled."""
+        profile = self.profile
+        return profile.as_dict() if profile is not None else None
+
     # -- execution -----------------------------------------------------------
     def execute_batch(
         self,
@@ -370,7 +460,11 @@ class CompiledTape:
                 np.copyto(target, load.template)
                 for column, name in load.var_columns:
                     target[:, column] = name_values[name]
-            if specialize:
+            if _PROFILING:
+                _interpret_profiled(
+                    plan.ops, buffers, t, half, self.n, self._profile(), batch
+                )
+            elif specialize:
                 plan.function()(buffers)
             else:
                 _interpret(plan.ops, buffers, t, half, self.n)
@@ -546,6 +640,35 @@ def _interpret(
             np_sub(dst, t, out=dst, where=dst > half)
         else:  # pragma: no cover - defensive
             raise CompilationError(f"unknown tape op kind {kind!r}")
+
+
+def _interpret_profiled(
+    ops: Sequence[TapeOp],
+    buffers: List[np.ndarray],
+    t: int,
+    half: int,
+    n: int,
+    profile: TapeProfile,
+    rows: int,
+) -> None:
+    """Like :func:`_interpret`, but samples ``perf_counter_ns`` per op.
+
+    Delegates each op to :func:`_interpret` one at a time, so the executed
+    numpy operations (and hence the outputs) are bit-identical to opt level 1
+    by construction; only the clock samples and the per-opcode accumulation
+    are extra.
+    """
+    counts: Dict[str, int] = {}
+    elapsed: Dict[str, int] = {}
+    clock = time.perf_counter_ns
+    for op in ops:
+        start = clock()
+        _interpret((op,), buffers, t, half, n)
+        duration = clock() - start
+        kind = op.kind
+        counts[kind] = counts.get(kind, 0) + 1
+        elapsed[kind] = elapsed.get(kind, 0) + duration
+    profile.observe(counts, elapsed, rows)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,57 @@
+"""Observability: end-to-end tracing, per-stage profiling, ops console.
+
+``repro.obs`` is the tracing and profiling subsystem threaded through the
+serving stack — but it depends on nothing in :mod:`repro.server` (the server
+imports *us*), so it can be reused by scripts, benchmarks and tests that
+never construct a server.
+
+Pieces:
+
+* :mod:`repro.obs.trace` — :class:`Span` / :class:`Tracer` with explicit
+  clock injection (monotonic + wall), a bounded in-memory ring buffer, a
+  JSONL span sink and thread-local implicit parenting;
+* :mod:`repro.obs.export` — Chrome-trace-event (Perfetto-loadable) export
+  and the per-stage latency rollup behind ``repro trace export|report``;
+* :mod:`repro.obs.console` — snapshot delta/rate computation and the frame
+  renderers behind ``repro top`` and ``repro metrics --watch/--delta``.
+"""
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    JsonlSpanSink,
+    Span,
+    Tracer,
+    load_spans,
+    new_span_id,
+    new_trace_id,
+)
+from repro.obs.export import (
+    chrome_trace,
+    export_chrome_trace,
+    render_stage_report,
+    stage_rollup,
+)
+from repro.obs.console import (
+    read_snapshot,
+    render_delta,
+    render_top,
+    snapshot_delta,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "JsonlSpanSink",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "export_chrome_trace",
+    "load_spans",
+    "new_span_id",
+    "new_trace_id",
+    "read_snapshot",
+    "render_delta",
+    "render_stage_report",
+    "render_top",
+    "snapshot_delta",
+    "stage_rollup",
+]

@@ -21,10 +21,11 @@ exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.backends.base import program_fingerprint
 from repro.compiler.circuit import CircuitProgram
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.server.jobs import Job
 
 __all__ = ["CoalescedGroup", "coalesce"]
@@ -71,29 +72,39 @@ class CoalescedGroup:
 
 def coalesce(
     entries: Sequence[Tuple[Job, CircuitProgram, Sequence[Mapping[str, int]], str]],
+    *,
+    tracer: Optional[Tracer] = None,
 ) -> List[CoalescedGroup]:
     """Group ``(job, circuit, inputs, backend_key)`` entries into batches.
 
     Entries arrive in scheduling (priority) order and groups come back
     ordered by their first member, so coalescing never reorders work across
     priorities — it only merges equal circuits that would have run anyway.
+
+    With a ``tracer`` the grouping work (fingerprint hashing included — that
+    is the cost coalescing amortizes) is recorded as one ``coalesce`` stage
+    span, nested under whatever span the calling thread has open.
     """
-    groups: Dict[Tuple[str, str], CoalescedGroup] = {}
-    ordered: List[CoalescedGroup] = []
-    #: Jobs sharing a circuit usually share the object too (the server's
-    #: circuit memo), so hash each distinct object once per call.
-    fingerprints: Dict[int, str] = {}
-    for job, program, inputs, backend_key in entries:
-        fingerprint = fingerprints.get(id(program))
-        if fingerprint is None:
-            fingerprint = fingerprints[id(program)] = program_fingerprint(program)
-        key = (fingerprint, backend_key)
-        group = groups.get(key)
-        if group is None:
-            group = CoalescedGroup(
-                fingerprint=key[0], backend_key=backend_key, program=program
-            )
-            groups[key] = group
-            ordered.append(group)
-        group.add(job, inputs)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("coalesce", attrs={"entries": len(entries)}) as span:
+        groups: Dict[Tuple[str, str], CoalescedGroup] = {}
+        ordered: List[CoalescedGroup] = []
+        #: Jobs sharing a circuit usually share the object too (the server's
+        #: circuit memo), so hash each distinct object once per call.
+        fingerprints: Dict[int, str] = {}
+        for job, program, inputs, backend_key in entries:
+            fingerprint = fingerprints.get(id(program))
+            if fingerprint is None:
+                fingerprint = fingerprints[id(program)] = program_fingerprint(program)
+            key = (fingerprint, backend_key)
+            group = groups.get(key)
+            if group is None:
+                group = CoalescedGroup(
+                    fingerprint=key[0], backend_key=backend_key, program=program
+                )
+                groups[key] = group
+                ordered.append(group)
+            group.add(job, inputs)
+        span.set_attr("groups", len(ordered))
+        span.set_attr("coalesced_jobs", sum(len(g.jobs) for g in ordered if g.coalesced))
     return ordered

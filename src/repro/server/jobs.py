@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.compiler.circuit import CircuitProgram, InputSlot, Instruction, Opcode
+from repro.obs.trace import new_span_id, new_trace_id
 
 __all__ = [
     "JobState",
@@ -154,6 +155,14 @@ class Job:
     priority: int = 0
     max_retries: int = 0
     name: Optional[str] = None
+    #: Trace context: the id of the distributed trace this submission
+    #: belongs to and the id of its root span.  Both are generated at
+    #: construction when absent and persist through :meth:`to_record` /
+    #: :meth:`from_record`, so crash recovery, requeue, retries, shed and
+    #: cross-process store hand-offs all re-attach their spans to the
+    #: original trace — one submission, one connected trace.
+    trace_id: Optional[str] = None
+    trace_root: Optional[str] = None
 
     status: JobState = JobState.QUEUED
     attempts: int = 0
@@ -170,6 +179,10 @@ class Job:
             raise ValueError("a job needs a source expression or a pre-lowered circuit")
         if self.kind == "compile" and self.source is None:
             raise ValueError("compile jobs need a source expression")
+        if self.trace_id is None:
+            self.trace_id = new_trace_id()
+        if self.trace_root is None:
+            self.trace_root = new_span_id()
 
     def label(self) -> str:
         return self.name or (self.program.name if self.program is not None else self.id)
@@ -194,6 +207,8 @@ class Job:
             "priority": self.priority,
             "max_retries": self.max_retries,
             "name": self.name,
+            "trace_id": self.trace_id,
+            "trace_root": self.trace_root,
             "status": self.status.value,
             "attempts": self.attempts,
             "submitted_at": self.submitted_at,
@@ -225,6 +240,10 @@ class Job:
             priority=int(record.get("priority", 0)),
             max_retries=int(record.get("max_retries", 0)),
             name=record.get("name"),
+            # Pre-observability records carry no trace context; __post_init__
+            # then mints fresh ids, and the first re-append persists them.
+            trace_id=record.get("trace_id"),
+            trace_root=record.get("trace_root"),
             status=JobState(record.get("status", "queued")),
             attempts=int(record.get("attempts", 0)),
             submitted_at=float(record.get("submitted_at", 0.0)),

@@ -43,11 +43,17 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.server.jobs import Job
 
-__all__ = ["JobQueue"]
+__all__ = ["JobQueue", "ENQUEUED_AT_ATTR", "ESTIMATE_ATTR"]
 
 #: Attribute the server stamps on jobs before pushing: estimated service
 #: seconds, fed into the per-priority backlog aggregates.
 ESTIMATE_ATTR = "_estimated_service_s"
+
+#: Attribute the queue stamps on jobs at enqueue time (wall-clock seconds).
+#: Retried jobs are re-pushed and re-stamped, so the tracer's per-attempt
+#: ``queue_wait`` span starts at that attempt's own enqueue instead of the
+#: original submission.
+ENQUEUED_AT_ATTR = "_enqueued_wall"
 
 
 class JobQueue:
@@ -159,6 +165,7 @@ class JobQueue:
         effective priority was the lowest; the caller owns giving it a
         terminal ``SHED`` status.
         """
+        setattr(job, ENQUEUED_AT_ATTR, time.time())
         with self._not_empty:
             level_count = self._count_by_priority.get(job.priority, 0)
             if (

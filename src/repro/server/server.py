@@ -38,6 +38,7 @@ crash/slowdown/corruption injection points.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import traceback
@@ -53,11 +54,12 @@ from repro.ir.analysis import variables
 from repro.ir.evaluate import output_arity
 from repro.ir.nodes import Expr
 from repro.ir.parser import parse
+from repro.obs.trace import NULL_TRACER, JsonlSpanSink, Span, Tracer, new_trace_id
 from repro.server.coalescer import CoalescedGroup, coalesce
 from repro.server.faults import FaultInjector
 from repro.server.jobs import Job, JobState
-from repro.server.queue import ESTIMATE_ATTR, JobQueue
-from repro.server.store import JobStore
+from repro.server.queue import ENQUEUED_AT_ATTR, ESTIMATE_ATTR, JobQueue
+from repro.server.store import TRACE_NAME, JobStore
 from repro.server.telemetry import (
     LATENCY_BUCKETS,
     MetricsRegistry,
@@ -140,6 +142,20 @@ class JobServer:
     fault_injector:
         Armed-trigger registry for the recovery tests
         (:mod:`repro.server.faults`); shared with the job store.
+    tracing:
+        Enable end-to-end tracing: every lifecycle stage (``submit``,
+        ``admission``, ``persist``, ``queue_wait``, ``poll_store``,
+        ``queue_drain``, ``coalesce``, ``schedule``, ``backend_compile``,
+        ``execute``, ``commit_result``) emits spans into a bounded ring
+        buffer, persisted to ``traces.jsonl`` under the state directory
+        when one exists, plus per-job mirror spans forming one connected
+        trace per submission.  Off by default (the disabled tracer's hot
+        path is a no-op); the ``tracing`` studies component measures the
+        residual overhead.
+    tracer:
+        Inject a pre-built :class:`~repro.obs.trace.Tracer` (tests drive
+        fake clocks through it; benchmarks read its ring buffer directly).
+        Overrides ``tracing``; the server does not close an injected tracer.
     """
 
     def __init__(
@@ -164,13 +180,33 @@ class JobServer:
         memoize_circuits: bool = True,
         prefer_measured: bool = True,
         fault_injector: Optional[FaultInjector] = None,
+        tracing: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if admission not in ("off", "shed", "downgrade"):
             raise ValueError("admission must be 'off', 'shed' or 'downgrade'")
         self.faults = fault_injector if fault_injector is not None else FaultInjector()
-        self.store = JobStore(state_dir, fault_injector=self.faults)
+        self._own_tracer = tracer is None and tracing
+        if tracer is not None:
+            self.tracer = tracer
+        elif tracing:
+            sink = (
+                JsonlSpanSink(os.path.join(os.path.abspath(state_dir), TRACE_NAME))
+                if state_dir
+                else None
+            )
+            self.tracer = Tracer(sink=sink)
+        else:
+            self.tracer = NULL_TRACER
+        self.tracing = self.tracer.enabled
+        if self.tracer.enabled and self.tracer.observer is None:
+            self.tracer.observer = self._observe_span
+        #: The server-lifecycle trace every tick/stage span belongs to
+        #: (per-job mirror spans belong to each job's own trace instead).
+        self.trace_id = new_trace_id() if self.tracer.enabled else ""
+        self.store = JobStore(state_dir, fault_injector=self.faults, tracer=self.tracer)
         self.queue = JobQueue(
             queue_capacity,
             per_priority_capacity=per_priority_capacity,
@@ -223,10 +259,13 @@ class JobServer:
             with self._lock:
                 self._jobs[job.id] = job
             if job.status is JobState.RUNNING:
-                # Caught mid-run by a crash or kill: run it again.
+                # Caught mid-run by a crash or kill: run it again.  The
+                # requeued record keeps the original trace context, so the
+                # new process's spans extend the submission's trace.
                 job.status = JobState.QUEUED
                 self.store.append(job)
                 self.telemetry.counter("jobs_recovered").inc()
+                self._job_event(job, "recovered", attrs={"attempts": job.attempts})
                 self._count_submission(job)
                 self._queue_push(job)
             elif job.status is JobState.QUEUED:
@@ -267,6 +306,52 @@ class JobServer:
     def _update_queue_depth(self) -> None:
         self.telemetry.gauge("queue_depth").set(len(self.queue))
 
+    # -- tracing ------------------------------------------------------------
+    def _observe_span(self, span: Span) -> None:
+        """Tracer observer: fold stage durations into telemetry histograms.
+
+        ``repro top`` reads stage p50/p99 straight from ``metrics.json``, so
+        every finished stage span also lands in a ``stage_<name>_s``
+        histogram (latency bounds: the percentile interpolation must stay
+        tight at serving timescales).
+        """
+        if span.cat == "stage":
+            self.telemetry.histogram(
+                f"stage_{span.name}_s", bounds=LATENCY_BUCKETS
+            ).observe(span.duration_s)
+
+    def _job_event(self, job: Job, name: str, *, status: str = "ok",
+                   attrs: Optional[Dict[str, object]] = None) -> None:
+        """A zero-duration marker span on ``job``'s own trace."""
+        if not self.tracer.enabled:
+            return
+        now = self.tracer.wall()
+        self.tracer.record(
+            name, now, now,
+            trace_id=job.trace_id, parent_id=job.trace_root,
+            cat="job", status=status, attrs=attrs,
+        )
+
+    def _close_job_trace(self, job: Job) -> None:
+        """Emit the terminal ``job`` envelope span, pinned to the persisted
+        root span id so every process's child spans attach to it."""
+        if not self.tracer.enabled:
+            return
+        end = job.finished_at if job.finished_at is not None else self.tracer.wall()
+        self.tracer.record(
+            "job", job.submitted_at, end,
+            trace_id=job.trace_id, span_id=job.trace_root, parent_id=None,
+            cat="job",
+            status="ok" if job.status is JobState.COMPLETED else "error",
+            attrs={
+                "job": job.id,
+                "kind": job.kind,
+                "name": job.label(),
+                "status": job.status.value,
+                "attempts": job.attempts,
+            },
+        )
+
     # -- client surface -----------------------------------------------------
     def submit(self, job: Job) -> str:
         """Queue one job; returns its id immediately.
@@ -281,14 +366,25 @@ class JobServer:
             if job.id in self._jobs:
                 raise ValueError(f"job id {job.id!r} was already submitted")
             self._jobs[job.id] = job
-        self._count_submission(job)
-        reason = self._admit(job)
-        if reason is not None:
-            self._shed(job, reason)
-            return job.id
-        self.store.append(job)
-        self._queue_push(job)
-        self._update_queue_depth()
+        submit_wall = self.tracer.wall() if self.tracer.enabled else 0.0
+        with self.tracer.span(
+            "submit", trace_id=self.trace_id, attrs={"job": job.id}
+        ):
+            self._count_submission(job)
+            reason = self._admit(job)
+            if reason is not None:
+                self._shed(job, reason)
+                return job.id
+            self.store.append(job)
+            self._queue_push(job)
+            self._update_queue_depth()
+        if self.tracer.enabled:
+            # Mirror onto the job's own trace so the submission boundary is
+            # part of its connected span tree, not just the server's.
+            self.tracer.record(
+                "submit", submit_wall, self.tracer.wall(),
+                trace_id=job.trace_id, parent_id=job.trace_root, cat="job",
+            )
         return job.id
 
     def _count_submission(self, job: Job) -> None:
@@ -350,21 +446,24 @@ class JobServer:
         budget = self.slo.wait_budget(job.priority)
         if budget is None:
             return None  # best-effort class: no deadline to protect
-        estimate = self._estimate_job_service_s(job)
-        setattr(job, ESTIMATE_ATTR, estimate)  # reused by _queue_push
-        backlog = self.queue.backlog_service_s(job.priority)
-        drain_s = (backlog + estimate) / max(1, self.workers)
-        if drain_s <= budget:
-            return None
-        if self.admission == "downgrade" and job.priority > self.admission_floor:
-            job.priority = self.admission_floor
-            self.telemetry.counter("jobs_downgraded").inc()
-            return None
-        self.telemetry.counter("admission_rejects").inc()
-        return (
-            f"admission control: estimated drain {drain_s:.3f}s exceeds "
-            f"wait budget {budget:.3f}s for priority {job.priority}"
-        )
+        with self.tracer.span("admission", attrs={"job": job.id}) as span:
+            estimate = self._estimate_job_service_s(job)
+            setattr(job, ESTIMATE_ATTR, estimate)  # reused by _queue_push
+            backlog = self.queue.backlog_service_s(job.priority)
+            drain_s = (backlog + estimate) / max(1, self.workers)
+            if drain_s <= budget:
+                return None
+            if self.admission == "downgrade" and job.priority > self.admission_floor:
+                job.priority = self.admission_floor
+                self.telemetry.counter("jobs_downgraded").inc()
+                span.set_attr("decision", "downgrade")
+                return None
+            self.telemetry.counter("admission_rejects").inc()
+            span.set_attr("decision", "reject")
+            return (
+                f"admission control: estimated drain {drain_s:.3f}s exceeds "
+                f"wait budget {budget:.3f}s for priority {job.priority}"
+            )
 
     def _queue_push(self, job: Job, sink: Optional[List[Dict[str, object]]] = None) -> None:
         """Stamp the job's service estimate and push; shed any overflow victim."""
@@ -385,6 +484,8 @@ class JobServer:
         job.error = reason
         job.finished_at = time.time()
         self.telemetry.counter("jobs_shed").inc()
+        self._job_event(job, "shed", status="error", attrs={"reason": reason})
+        self._close_job_trace(job)
         record = job.to_record()
         if sink is not None:
             sink.append(record)
@@ -478,6 +579,10 @@ class JobServer:
             with self._lock:
                 jobs = sorted(self._jobs.values(), key=lambda job: job.submitted_at)
             self.store.compact(jobs)
+        if self._own_tracer:
+            self.tracer.close()  # flushes the span sink
+        elif self.tracer.enabled:
+            self.tracer.flush()
 
     def __enter__(self) -> "JobServer":
         return self
@@ -499,6 +604,8 @@ class JobServer:
                 break
         if self.store.persistent:
             self.telemetry.write_snapshot(self.store.metrics_path)
+        if self.tracer.enabled:
+            self.tracer.flush()
         return processed
 
     # -- one scheduling round ----------------------------------------------
@@ -509,11 +616,34 @@ class JobServer:
         jobs are requeued and not counted).
         """
         tick_start = time.perf_counter()
+        enabled = self.tracer.enabled
+        t0_wall = self.tracer.wall() if enabled else 0.0
+        t0_mono = self.tracer.mono() if enabled else 0.0
         self._poll_store()
+        t1_wall = self.tracer.wall() if enabled else 0.0
         pending = self.queue.pop_batch(timeout=timeout)
         self._update_queue_depth()
         if not pending:
             return 0
+        tick_span = None
+        if enabled:
+            # The envelope is opened retroactively (empty ticks must not
+            # clutter the trace) and covers the store poll and queue drain
+            # that already happened; stage spans below nest inside it.
+            tick_span = self.tracer.span(
+                "tick",
+                trace_id=self.trace_id,
+                parent_id=None,
+                cat="tick",
+                attrs={"jobs": len(pending)},
+                start_wall=t0_wall,
+                start_mono=t0_mono,
+            )
+            tick_span.__enter__()
+            self.tracer.record(
+                "poll_store", t0_wall, t1_wall,
+                trace_id=self.trace_id, parent_id=tick_span.span_id, cat="stage",
+            )
         self.telemetry.gauge("jobs_running").set(len(pending))
         now = time.time()
         #: One tick's state transitions, flushed in a single locked fsync at
@@ -529,17 +659,39 @@ class JobServer:
             wait_s = now - job.submitted_at
             self.telemetry.histogram("job_wait_s", bounds=LATENCY_BUCKETS).observe(wait_s)
             self._slo_tracker.observe_wait(job.priority, wait_s)
+            if enabled:
+                # Per-attempt wait on the job's own trace: from this
+                # attempt's enqueue (retries re-stamp it) to the drain.
+                self.tracer.record(
+                    "queue_wait",
+                    getattr(job, ENQUEUED_AT_ATTR, job.submitted_at), now,
+                    trace_id=job.trace_id, parent_id=job.trace_root, cat="job",
+                    attrs={"attempt": job.attempts, "priority": job.priority},
+                )
+        if enabled:
+            # queue_drain closes after the mark-running loop: draining the
+            # queue and stamping/persist-staging the batch is one stage.
+            self.tracer.record(
+                "queue_drain", t1_wall, self.tracer.wall(),
+                trace_id=self.trace_id, parent_id=tick_span.span_id, cat="stage",
+                attrs={"jobs": len(pending)},
+            )
 
-        compile_jobs = [job for job in pending if job.kind == "compile"]
-        execute_jobs = [job for job in pending if job.kind == "execute"]
         terminal = 0
-        terminal += self._run_compile_jobs(compile_jobs, sink)
-        terminal += self._run_execute_jobs(execute_jobs, sink)
-        #: Crash-before-commit injection point: everything above ran but
-        #: none of it is durable yet; a fault here models the process dying
-        #: with the store still saying "queued".
-        self.faults.fire("server.before_commit")
-        self.store.append_records(sink)
+        try:
+            compile_jobs = [job for job in pending if job.kind == "compile"]
+            execute_jobs = [job for job in pending if job.kind == "execute"]
+            terminal += self._run_compile_jobs(compile_jobs, sink)
+            terminal += self._run_execute_jobs(execute_jobs, sink)
+            #: Crash-before-commit injection point: everything above ran but
+            #: none of it is durable yet; a fault here models the process dying
+            #: with the store still saying "queued".
+            self.faults.fire("server.before_commit")
+            self.store.append_records(sink)
+        finally:
+            if tick_span is not None:
+                tick_span.set_attr("terminal", terminal)
+                tick_span.__exit__(None, None, None)
 
         self.telemetry.gauge("jobs_running").set(0)
         self._update_queue_depth()
@@ -628,9 +780,13 @@ class JobServer:
         terminal = 0
         for job in jobs:
             try:
-                expr = parse(job.source)
-                service = self._compile_service(job)
-                report = service.compile_expression(expr, name=job.name or "circuit")
+                with self.tracer.span(
+                    "backend_compile",
+                    attrs={"job": job.id, "compiler": job.compiler or self.default_compiler},
+                ):
+                    expr = parse(job.source)
+                    service = self._compile_service(job)
+                    report = service.compile_expression(expr, name=job.name or "circuit")
                 job.result = {
                     "name": report.name,
                     "compiler": job.compiler or self.default_compiler,
@@ -654,6 +810,7 @@ class JobServer:
                 params=self.params,
                 workers=self.workers,
                 prefer_measured=self.prefer_measured,
+                tracer=self.tracer,
             )
             self._execution_services[backend_name] = service
         return service
@@ -669,26 +826,31 @@ class JobServer:
         terminal = 0
         entries = []
         expressions: Dict[str, Optional[Expr]] = {}
-        for job in jobs:
-            try:
-                program, expr, names = self._compiled_circuit(job)
-                inputs = self._job_inputs(job, names)
-                backend_name = job.backend or self.default_backend
-                # Resolving the service now surfaces unknown-backend errors
-                # per job instead of failing the whole group later.
-                self._execution_service(backend_name)
-                expressions[job.id] = expr
-                entries.append((job, program, inputs, backend_name))
-            except Exception as error:
-                terminal += self._handle_failure(job, error, sink)
+        with self.tracer.span("backend_compile", attrs={"jobs": len(jobs)}):
+            for job in jobs:
+                try:
+                    program, expr, names = self._compiled_circuit(job)
+                    inputs = self._job_inputs(job, names)
+                    backend_name = job.backend or self.default_backend
+                    # Resolving the service now surfaces unknown-backend errors
+                    # per job instead of failing the whole group later.
+                    self._execution_service(backend_name)
+                    expressions[job.id] = expr
+                    entries.append((job, program, inputs, backend_name))
+                except Exception as error:
+                    terminal += self._handle_failure(job, error, sink)
 
         if self.coalesce:
-            groups = coalesce(entries)
+            groups = coalesce(entries, tracer=self.tracer)
         else:
             # Ablated: one group per job, as if the coalescer never existed
             # (each still pays its own fingerprint hash — that cost is part
             # of what coalescing amortizes).
-            groups = [group for entry in entries for group in coalesce([entry])]
+            groups = [
+                group
+                for entry in entries
+                for group in coalesce([entry], tracer=self.tracer)
+            ]
         by_backend: Dict[str, List[CoalescedGroup]] = {}
         for group in groups:
             by_backend.setdefault(group.backend_key, []).append(group)
@@ -721,23 +883,27 @@ class JobServer:
                         terminal += self._handle_failure(job, error, sink)
                 continue
             self.telemetry.counter("executions_total").inc(batch.total_executions)
-            for group, reports, record in zip(
-                backend_groups, batch.reports, batch.records
+            with self.tracer.span(
+                "commit_result",
+                attrs={"backend": backend_name, "groups": len(backend_groups)},
             ):
-                for job_index, (job, (lo, hi)) in enumerate(
-                    zip(group.jobs, group.slices())
+                for group, reports, record in zip(
+                    backend_groups, batch.reports, batch.records
                 ):
-                    try:
-                        job.result = self._execution_result(
-                            job_index,
-                            group,
-                            reports[lo:hi],
-                            expressions.get(job.id),
-                            record.estimate_source,
-                        )
-                        terminal += self._finish(job, JobState.COMPLETED, sink)
-                    except Exception as error:
-                        terminal += self._handle_failure(job, error, sink)
+                    for job_index, (job, (lo, hi)) in enumerate(
+                        zip(group.jobs, group.slices())
+                    ):
+                        try:
+                            job.result = self._execution_result(
+                                job_index,
+                                group,
+                                reports[lo:hi],
+                                expressions.get(job.id),
+                                record.estimate_source,
+                            )
+                            terminal += self._finish(job, JobState.COMPLETED, sink)
+                        except Exception as error:
+                            terminal += self._handle_failure(job, error, sink)
         return terminal
 
     def _execution_result(
@@ -800,6 +966,15 @@ class JobServer:
             "jobs_completed" if status is JobState.COMPLETED else "jobs_failed"
         ).inc()
         sink.append(job.to_record())
+        if self.tracer.enabled:
+            if job.started_at is not None:
+                self.tracer.record(
+                    "run", job.started_at, job.finished_at,
+                    trace_id=job.trace_id, parent_id=job.trace_root, cat="job",
+                    status="ok" if status is JobState.COMPLETED else "error",
+                    attrs={"attempt": job.attempts, "kind": job.kind},
+                )
+            self._close_job_trace(job)
         with self._job_done:
             self._job_done.notify_all()
         return 1
@@ -813,6 +988,15 @@ class JobServer:
             job.status = JobState.QUEUED
             job.error = message
             sink.append(job.to_record())
+            if self.tracer.enabled and job.started_at is not None:
+                # The failed attempt stays on the job's trace; the requeued
+                # job keeps its trace_id so the retry extends the same tree.
+                self.tracer.record(
+                    "run", job.started_at, self.tracer.wall(),
+                    trace_id=job.trace_id, parent_id=job.trace_root, cat="job",
+                    status="retry",
+                    attrs={"attempt": job.attempts, "error": message},
+                )
             self.queue.push(job)
             self.telemetry.counter("jobs_retried").inc()
             self._update_queue_depth()

@@ -36,6 +36,7 @@ import os
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.server.faults import InjectedFault
 from repro.server.jobs import Job
 
@@ -50,6 +51,7 @@ LOG_NAME = "jobs.jsonl"
 LOCK_NAME = "jobs.jsonl.lock"
 GENERATION_NAME = "jobs.jsonl.gen"
 METRICS_NAME = "metrics.json"
+TRACE_NAME = "traces.jsonl"
 
 
 class JobStore:
@@ -61,12 +63,20 @@ class JobStore:
     """
 
     def __init__(
-        self, state_dir: Optional[str] = None, *, fault_injector: Optional[object] = None
+        self,
+        state_dir: Optional[str] = None,
+        *,
+        fault_injector: Optional[object] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.state_dir = os.path.abspath(state_dir) if state_dir else None
         #: Armed-trigger registry for the recovery tests (see
         #: :mod:`repro.server.faults`); None in production use.
         self.faults = fault_injector
+        #: Span collector for the ``persist`` / ``store_replay`` /
+        #: ``store_compact`` stages; the server passes its tracer in, bare
+        #: client-side stores default to the disabled singleton.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Unparseable log records skipped so far by this store instance —
         #: torn (half-written) appends and corrupt (bit-rotted) lines.  The
         #: server mirrors this into the ``store_skipped_records`` counter.
@@ -101,6 +111,12 @@ class JobStore:
         if self.state_dir is None:
             return None
         return os.path.join(self.state_dir, METRICS_NAME)
+
+    @property
+    def trace_path(self) -> Optional[str]:
+        if self.state_dir is None:
+            return None
+        return os.path.join(self.state_dir, TRACE_NAME)
 
     @property
     def generation_path(self) -> Optional[str]:
@@ -146,6 +162,12 @@ class JobStore:
         """
         if not records:
             return
+        with self.tracer.span(
+            "persist", attrs={"records": len(records), "durable": self.persistent}
+        ):
+            self._append_records(records)
+
+    def _append_records(self, records: Sequence[Dict[str, object]]) -> None:
         lines = [json.dumps(record, sort_keys=True) for record in records]
         with self._lock:
             if self.state_dir is None:
@@ -276,12 +298,15 @@ class JobStore:
         Also fast-forwards this store's poll offset to the end of the log, so
         a subsequent :meth:`poll` only sees records appended afterwards.
         """
-        with self._lock:
-            records, offset = self._read_records(0, count_partial_tail=True)
-            self._offset = offset
-        jobs: Dict[str, Job] = {}
-        for record in records:
-            jobs[str(record["id"])] = Job.from_record(record)
+        with self.tracer.span("store_replay") as span:
+            with self._lock:
+                records, offset = self._read_records(0, count_partial_tail=True)
+                self._offset = offset
+            jobs: Dict[str, Job] = {}
+            for record in records:
+                jobs[str(record["id"])] = Job.from_record(record)
+            span.set_attr("records", len(records))
+            span.set_attr("jobs", len(jobs))
         return jobs
 
     def poll(self) -> List[Job]:
@@ -306,7 +331,7 @@ class JobStore:
         submission cannot land on the replaced inode and vanish.
         """
         records = [job.to_record() for job in jobs]
-        with self._lock:
+        with self.tracer.span("store_compact", attrs={"jobs": len(records)}), self._lock:
             if self.state_dir is None:
                 self._memory = records
                 self._offset = len(records)

@@ -33,6 +33,7 @@ import math
 import os
 import tempfile
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -450,6 +451,10 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        #: Count of snapshots written so far; stamped into every snapshot's
+        #: ``meta`` block so consumers (``repro top``, ``repro metrics
+        #: --watch/--delta``) can order snapshots and compute rates.
+        self._sequence = 0
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -483,9 +488,22 @@ class MetricsRegistry:
             )
 
     def snapshot(self) -> Dict[str, object]:
-        """Everything in the registry as one JSON-serializable dict."""
+        """Everything in the registry as one JSON-serializable dict.
+
+        The ``meta`` block carries a wall timestamp (epoch seconds), a
+        monotonic timestamp (same-process elapsed-time math without wall
+        clock jumps) and the monotonically increasing write-sequence
+        number, so two successive ``metrics.json`` reads can be turned into
+        per-second rates.
+        """
         with self._lock:
             return {
+                "meta": {
+                    "sequence": self._sequence,
+                    "wall_time": time.time(),
+                    "monotonic_time": time.monotonic(),
+                    "pid": os.getpid(),
+                },
                 "counters": {
                     name: instrument.as_dict()
                     for name, instrument in sorted(self._counters.items())
@@ -501,7 +519,14 @@ class MetricsRegistry:
             }
 
     def write_snapshot(self, path: str) -> Dict[str, object]:
-        """Atomically write :meth:`snapshot` as JSON to ``path``."""
+        """Atomically write :meth:`snapshot` as JSON to ``path``.
+
+        Each write bumps the snapshot sequence number first, so every
+        persisted snapshot carries a strictly increasing ``meta.sequence``
+        within this registry's lifetime.
+        """
+        with self._lock:
+            self._sequence += 1
         payload = self.snapshot()
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)

@@ -31,6 +31,7 @@ from repro.compiler.circuit import CircuitProgram
 from repro.compiler.executor import ExecutionReport, Value
 from repro.fhe.latency import LatencyModel
 from repro.fhe.params import BFVParameters
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.service.scheduler import makespan, partition_jobs
 
 __all__ = ["ExecutionJob", "ExecutionRecord", "ExecutionBatchReport", "ExecutionService"]
@@ -130,6 +131,10 @@ class ExecutionService:
         pre-McDoniel baseline.  Measurements are still recorded (the tables
         stay observable) but never drive a scheduling weight.  The ablation
         engine flips this to price the timer-augmented scheduler.
+    tracer:
+        Span collector for the ``schedule`` (estimate + LPT partition) and
+        per-plan-entry ``execute`` stages of :meth:`run_jobs`.  Defaults to
+        the disabled singleton: direct-path callers pay nothing.
     """
 
     def __init__(
@@ -142,6 +147,7 @@ class ExecutionService:
         calibration_smoothing: float = 0.25,
         max_measured: int = 1024,
         prefer_measured: bool = True,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -159,6 +165,7 @@ class ExecutionService:
         self.calibration_smoothing = calibration_smoothing
         self.max_measured = max_measured
         self.prefer_measured = prefer_measured
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._latency_model = LatencyModel(self.params)
         #: Measured per-input-set wall seconds, EWMA per circuit, bounded LRU.
         self._measured: "OrderedDict[str, float]" = OrderedDict()
@@ -288,34 +295,57 @@ class ExecutionService:
         pairs.  Reports come back in input order regardless of schedule.
         """
         start = time.perf_counter()
-        normalized = [self._normalize_job(job) for job in jobs]
-        batch = ExecutionBatchReport(backend=self.backend_name, workers=self.workers)
-        batch.reports = [[] for _ in normalized]
-        weights: List[float] = []
-        for job in normalized:
-            estimate, source = self.estimate_ms(job.program)
-            weight = estimate * max(len(job.inputs), 1)
-            weights.append(weight)
-            batch.records.append(
-                ExecutionRecord(
-                    name=job.label(),
-                    estimate_ms=estimate,
-                    estimate_source=source,
-                    batch_size=len(job.inputs),
+        # Capture the caller's span context up front: plans may run on pool
+        # threads whose thread-local span stacks are empty, so the per-plan
+        # "execute" spans parent explicitly to whatever was open here (the
+        # server's tick envelope) instead of rooting stray traces.
+        context = self.tracer.current_span() if self.tracer.enabled else None
+        trace_id = context.trace_id if context is not None else None
+        parent_id = context.span_id if context is not None else None
+        with self.tracer.span(
+            "schedule", trace_id=trace_id, parent_id=parent_id
+        ) as schedule_span:
+            normalized = [self._normalize_job(job) for job in jobs]
+            batch = ExecutionBatchReport(backend=self.backend_name, workers=self.workers)
+            batch.reports = [[] for _ in normalized]
+            weights: List[float] = []
+            for job in normalized:
+                estimate, source = self.estimate_ms(job.program)
+                weight = estimate * max(len(job.inputs), 1)
+                weights.append(weight)
+                batch.records.append(
+                    ExecutionRecord(
+                        name=job.label(),
+                        estimate_ms=estimate,
+                        estimate_source=source,
+                        batch_size=len(job.inputs),
+                    )
                 )
-            )
 
-        plans = partition_jobs(weights, min(self.workers, max(len(normalized), 1)))
-        batch.planned_makespan_ms = makespan(plans)
+            plans = partition_jobs(weights, min(self.workers, max(len(normalized), 1)))
+            batch.planned_makespan_ms = makespan(plans)
+            schedule_span.set_attr("jobs", len(normalized))
+            schedule_span.set_attr("planned_makespan_ms", batch.planned_makespan_ms)
 
         def run_plan(plan) -> None:
             for index in plan.job_indices:
                 job = normalized[index]
-                job_start = time.perf_counter()
-                reports = self.backend.execute_many(
-                    job.program, list(job.inputs), params=self.params
-                )
-                wall = time.perf_counter() - job_start
+                with self.tracer.span(
+                    "execute",
+                    trace_id=trace_id,
+                    parent_id=parent_id,
+                    attrs={
+                        "backend": self.backend_name,
+                        "batch": len(job.inputs),
+                        "worker": plan.worker,
+                        "name": job.label(),
+                    },
+                ):
+                    job_start = time.perf_counter()
+                    reports = self.backend.execute_many(
+                        job.program, list(job.inputs), params=self.params
+                    )
+                    wall = time.perf_counter() - job_start
                 if reports:
                     self.record_measurement(job.program, wall, len(reports))
                 batch.reports[index] = reports

@@ -179,6 +179,23 @@ register_component(
 
 register_component(
     Component(
+        name="tracing",
+        description=(
+            "End-to-end span tracing (repro.obs): on in this component's "
+            "baseline (tracing=True), off in its ablated condition — the "
+            "importance score is therefore the throughput cost of leaving "
+            "tracing enabled.  Excluded from the default matrix so the "
+            "production rows stay untraced."
+        ),
+        ablated={"tracing": False},
+        baseline={"tracing": True},
+        metrics=("throughput_jobs_per_s", "mean_run_s"),
+        default=False,
+    )
+)
+
+register_component(
+    Component(
         name="admission-control",
         description=(
             "Cost-aware admission control: on in this component's baseline "

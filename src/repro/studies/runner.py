@@ -208,6 +208,7 @@ class StudyRunner:
             coalesce=config.coalesce,
             memoize_circuits=config.memoize_circuits,
             prefer_measured=config.prefer_measured,
+            tracing=config.tracing,
         )
         try:
             jobs = self._build_jobs(run)

@@ -49,6 +49,10 @@ class RunConfig:
     prefer_measured: bool = True
     admission: str = "off"
     workers: int = 2
+    #: End-to-end span tracing (:mod:`repro.obs`).  Off by default so the
+    #: default matrix measures the production configuration; the ``tracing``
+    #: component flips it on in its baseline to price the tracing overhead.
+    tracing: bool = False
 
     def with_overrides(self, overrides: Mapping[str, object]) -> "RunConfig":
         """A copy with ``overrides`` applied; unknown keys are an error."""
