@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test benchmarks smoke bench-smoke bench-backends bench-server bench-workloads bench-overload bench-ablation docs-check all
+.PHONY: test benchmarks smoke lint analyze bench-smoke bench-backends bench-server bench-workloads bench-overload bench-ablation docs-check all
 
 # Tier-1 test suite (tests/ + benchmarks/ collected from the repo root).
 test:
@@ -18,8 +18,10 @@ benchmarks:
 # to the direct api path), the overload hardening (bounded queue sheds
 # under a burst while completing and accounting for every job), the
 # study engine (interrupted ablation study resumes without re-running
-# finished replicates) and the tracing pipeline (mixed burst with tracing
-# on: connected per-job traces, Perfetto-loadable export, stage report).
+# finished replicates), the tracing pipeline (mixed burst with tracing
+# on: connected per-job traces, Perfetto-loadable export, stage report)
+# and the static-analysis stack (lint clean, two workloads verify clean,
+# the mutation harness detects every injected defect).
 smoke:
 	$(PYTHON) -m pytest tests -x -q
 	$(PYTHON) scripts/service_smoke.py --workers 2
@@ -29,6 +31,16 @@ smoke:
 	$(PYTHON) scripts/overload_smoke.py
 	$(PYTHON) scripts/study_smoke.py
 	$(PYTHON) scripts/trace_smoke.py
+	$(PYTHON) scripts/analysis_smoke.py
+
+# Concurrency/determinism/hygiene lint over src/repro (non-zero on ERROR).
+lint:
+	$(PYTHON) -m repro lint
+
+# Static verification sweep: pipeline validators + tape verifier over
+# every registered workload (non-zero on any ERROR finding).
+analyze:
+	$(PYTHON) -m repro analyze
 
 # Fig. 5 execution-time series driven through the batched vector VM.
 bench-smoke:

@@ -42,6 +42,11 @@ The package is organised around the paper's system:
   tiers, scheduler, admission control), executed resumably on per-run job
   servers and analysed into ranked importance scores with bootstrap
   confidence intervals.
+* :mod:`repro.analysis` -- static verification: the tape verifier
+  (register-arena safety, reduction-schedule bounds, symbolic circuit
+  equivalence), per-stage pipeline validators, a codebase
+  concurrency/determinism lint and the seeded mutation harness that
+  proves the verifier catches injected optimizer defects.
 * :mod:`repro.api` -- the unified facade: ``repro.compile(source,
   compiler="greedy")``, ``repro.execute(..., backend="vector-vm")``,
   ``repro.execute_batch(...)``, ``repro.submit(...)`` /
@@ -49,7 +54,7 @@ The package is organised around the paper's system:
   ``repro.list_backends()`` (also exposed as the ``python -m repro`` CLI).
 """
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"
 
 #: Facade names re-exported lazily from :mod:`repro.api` so that
 #: ``import repro`` stays cheap and circular imports (the cache stamps
@@ -57,6 +62,8 @@ __version__ = "0.9.0"
 _API_EXPORTS = (
     "compile",
     "compile_batch",
+    "analyze",
+    "lint",
     "execute",
     "execute_batch",
     "list_compilers",

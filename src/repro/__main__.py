@@ -276,6 +276,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the generated specialized Python function",
     )
 
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="statically verify a kernel: pipeline invariants + tape safety",
+    )
+    analyze_parser.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="workload name, kernel name, s-expression, @file or -; "
+        "omitted = sweep every registered workload",
+    )
+    analyze_parser.add_argument(
+        "--compiler",
+        default=None,
+        help="compiler producing the circuit (default: the workload's, else greedy)",
+    )
+    analyze_parser.add_argument(
+        "--degree", type=int, default=1024, help="polynomial modulus degree n"
+    )
+    analyze_parser.add_argument(
+        "--opt-level",
+        type=int,
+        default=2,
+        choices=(0, 1, 2),
+        help="vector-VM opt level under analysis (0 skips the tape verifier)",
+    )
+    analyze_parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="concurrency/hygiene lint over the repro sources",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+
     bench_workloads_parser = subparsers.add_parser(
         "bench-workloads",
         help="benchmark the workloads: direct vs server path + mixed traffic",
@@ -665,6 +708,61 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
             print(plan.source())
         return 0
+
+    if args.command == "analyze":
+        from repro.workloads import available_workloads, build_workload
+
+        def _resolve(token: str):
+            """(source, compiler, name) for a workload/kernel/s-expr token."""
+            if token in available_workloads():
+                workload = build_workload(token)
+                return workload.source, args.compiler or workload.compiler, workload.name
+            from repro.kernels.registry import benchmark_suite
+
+            match = next((b for b in benchmark_suite() if b.name == token), None)
+            if match is not None:
+                return match.expression(), args.compiler, match.name
+            return _read_source(token), args.compiler, None
+
+        targets = [args.source] if args.source else sorted(available_workloads())
+        payload = []
+        failed = False
+        for token in targets:
+            source, compiler, name = _resolve(token)
+            _, analysis = api.analyze(
+                source,
+                compiler or "greedy",
+                name=name,
+                degree=args.degree,
+                opt_level=args.opt_level,
+            )
+            failed = failed or not analysis.ok
+            if args.json:
+                entry = analysis.as_dict()
+                entry["target"] = token
+                payload.append(entry)
+            else:
+                for line in analysis.summary_lines():
+                    print(f"{token}: {line}")
+                for finding in analysis.findings:
+                    print(f"  {finding.render()}")
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if failed else 0
+
+    if args.command == "lint":
+        report, files_checked = api.lint(args.paths or None)
+        if args.json:
+            payload = report.as_dict()
+            payload["files_checked"] = files_checked
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for finding in report.findings:
+                print(finding.render())
+            for line in report.summary_lines():
+                print(line)
+            print(f"files checked: {files_checked}")
+        return 0 if report.ok else 1
 
     if args.command == "bench-workloads":
         from repro.workloads.traffic import (

@@ -68,6 +68,8 @@ __all__ = [
     "make_service",
     "compile",
     "compile_batch",
+    "analyze",
+    "lint",
     "execute",
     "execute_batch",
     "sample_named_inputs",
@@ -138,6 +140,7 @@ def compile(
     cache: Optional[CompilationCache] = None,
     cache_dir: Optional[str] = None,
     service: Optional[CompilationService] = None,
+    verify: bool = False,
     **options: object,
 ) -> CompilationReport:
     """Compile one program under a named compiler configuration.
@@ -164,7 +167,9 @@ def compile(
             cache_dir=cache_dir,
             **options,
         )
-    return service.compile_expression(expr, name=name or suggested or "circuit")
+    return service.compile_expression(
+        expr, name=name or suggested or "circuit", verify=verify
+    )
 
 
 def compile_batch(
@@ -856,3 +861,77 @@ def list_backends() -> List[Dict[str, object]]:
 def describe_backend(backend_name: str, **options: object) -> str:
     """The canonical, version-stamped identity of a backend configuration."""
     return BackendSpec.create(backend_name, **options).describe()
+
+
+def analyze(
+    source: Source,
+    compiler: Union[str, CompilerSpec, object, None] = None,
+    *,
+    name: Optional[str] = None,
+    degree: int = 1024,
+    input_bounds: Optional[Sequence[int]] = None,
+    opt_level: int = 2,
+    **options: object,
+) -> Tuple[CompilationReport, object]:
+    """Statically verify one program end to end; returns ``(report, analysis)``.
+
+    Two verifier families run (:mod:`repro.analysis`):
+
+    * the **pipeline validators** — the compilation re-runs with
+      ``verify=True``, so every pass of the compiler's
+      :class:`~repro.compiler.framework.PassPipeline` is followed by the
+      expression/circuit structural checks, findings attributed to the
+      stage that introduced them;
+    * the **tape verifier** (``opt_level >= 1``) — the circuit is compiled
+      to the vector VM's executable tape and checked for register-arena
+      safety, output coverage, reduction-schedule soundness under every
+      input-magnitude bucket of ``input_bounds``, fusion legality and
+      symbolic equivalence against the source circuit.  ``opt_level=0``
+      (the legacy interpreter, which runs the instruction list as written)
+      skips the tape stage.
+
+    The returned analysis is a merged
+    :class:`~repro.analysis.AnalysisReport`; ``analysis.ok`` is False iff
+    any ERROR finding surfaced.
+    """
+    from repro.analysis import AnalysisReport
+    from repro.analysis.tape_check import DEFAULT_BOUNDS, verify_tape
+    from repro.backends.tapeopt import compile_tape
+    from repro.fhe.params import BFVParameters
+
+    expr, suggested = to_expression(source)
+    report = compile(
+        expr,
+        compiler,
+        name=name or suggested or "circuit",
+        verify=True,
+        **options,
+    )
+    merged = AnalysisReport()
+    if report.analysis is not None:
+        merged.merge(report.analysis)
+    if opt_level >= 1:
+        params = BFVParameters.default(degree)
+        tape = compile_tape(report.circuit, params)
+        bounds = tuple(input_bounds) if input_bounds else DEFAULT_BOUNDS
+        merged.merge(
+            verify_tape(
+                report.circuit, tape, input_bounds=bounds, location=report.name
+            )
+        )
+    return report, merged
+
+
+def lint(
+    paths: Optional[Sequence[str]] = None, *, root: Optional[str] = None
+) -> Tuple[object, int]:
+    """Run the codebase concurrency/hygiene lint; ``(report, files_checked)``.
+
+    Checks ``# guarded-by:`` lock discipline, wall-clock/unseeded-randomness
+    use on deterministic paths, and Python hygiene (bare ``except``, mutable
+    default arguments) over ``paths`` — by default the installed ``repro``
+    package itself (:func:`repro.analysis.lint.default_target`).
+    """
+    from repro.analysis.lint import lint_paths
+
+    return lint_paths(paths, root=root)

@@ -167,7 +167,11 @@ class NoiseLedger:
         self.meter.record("negate")
 
     def rotate(self, dst: int, operand: int, step: int) -> None:
-        if step == 0:
+        # Normalize mod n exactly the way the evaluator does: rotation by
+        # any multiple of the slot count is the identity, so the accounting
+        # stays in lockstep across the reference and VM backends for
+        # congruent steps.
+        if step % self.meter.params.slot_count == 0:
             # The evaluator returns a budget-preserving copy without logging.
             self.budget[dst] = self.budget[operand]
             return

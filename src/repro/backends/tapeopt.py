@@ -66,7 +66,21 @@ __all__ = [
     "tape_cache_stats",
     "reset_tape_cache",
     "scheduling_cost_ms",
+    "TapeVerificationError",
 ]
+
+
+class TapeVerificationError(CompilationError):
+    """The static tape verifier reported ERROR findings on a fresh compile.
+
+    Carries the full :class:`~repro.analysis.AnalysisReport` so callers
+    (CLI, server telemetry) can surface every finding, not just the first.
+    """
+
+    def __init__(self, name: str, report) -> None:
+        self.report = report
+        preview = "; ".join(f.render() for f in report.findings[:5])
+        super().__init__(f"tape verification failed for {name!r}: {preview}")
 
 
 @dataclass
@@ -543,16 +557,25 @@ def compile_tape(program: CircuitProgram, params: BFVParameters) -> CompiledTape
 _CACHE_CAPACITY = 64
 _cache: "OrderedDict[Tuple[str, BFVParameters], CompiledTape]" = OrderedDict()
 _cache_lock = threading.Lock()
-_counters = {"hits": 0, "misses": 0, "compiles": 0}
+_counters = {"hits": 0, "misses": 0, "compiles": 0, "verified": 0, "findings": 0}
 
 
-def get_compiled_tape(program: CircuitProgram, params: BFVParameters) -> CompiledTape:
+def get_compiled_tape(
+    program: CircuitProgram, params: BFVParameters, *, verify: bool = False
+) -> CompiledTape:
     """The compiled tape for ``(program, params)``, memoized process-wide.
 
     Keyed by circuit content fingerprint (name independent) plus the frozen
     BFV parameters — the same identity the service's measured-time table and
     the server's coalescer use, so coalesced batches hit the memo across
     ticks and across backend instances.
+
+    ``verify=True`` runs the static tape verifier
+    (:func:`repro.analysis.tape_check.verify_tape`) on every *fresh*
+    compile — memo hits were verified when first built — raising
+    :class:`TapeVerificationError` on any ERROR finding and folding the
+    verified/finding counts into the memo counters (the server's telemetry
+    sync turns those into ``analysis_findings``).
     """
     key = (program_fingerprint(program), params)
     with _cache_lock:
@@ -563,6 +586,15 @@ def get_compiled_tape(program: CircuitProgram, params: BFVParameters) -> Compile
             return tape
         _counters["misses"] += 1
     tape = compile_tape(program, params)
+    if verify:
+        from repro.analysis.tape_check import verify_tape
+
+        report = verify_tape(program, tape)
+        with _cache_lock:
+            _counters["verified"] += 1
+            _counters["findings"] += len(report.findings)
+        if not report.ok:
+            raise TapeVerificationError(program.name, report)
     with _cache_lock:
         _counters["compiles"] += 1
         _cache[key] = tape

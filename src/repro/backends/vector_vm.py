@@ -80,8 +80,12 @@ class VectorVMBackend(BaseBackend):
     name = "vector-vm"
     produces_outputs = True
 
-    def __init__(self, opt_level: int = 2) -> None:
+    def __init__(self, opt_level: int = 2, verify: bool = False) -> None:
         self.opt_level = int(opt_level)
+        #: Run the static tape verifier on every fresh tape compile; ERROR
+        #: findings raise TapeVerificationError instead of executing a
+        #: miscompiled tape.
+        self.verify = bool(verify)
 
     def execute(
         self,
@@ -107,7 +111,7 @@ class VectorVMBackend(BaseBackend):
             params = BFVParameters.default()
         if self.opt_level <= 0:
             return self._execute_legacy(program, inputs_list, params)
-        tape = get_compiled_tape(program, params)
+        tape = get_compiled_tape(program, params, verify=self.verify)
         return tape.execute_batch(
             inputs_list,
             specialize=self.opt_level >= 2,

@@ -141,9 +141,11 @@ class CoyoteCompiler:
         )
 
     # -- public API -----------------------------------------------------------------
-    def compile_expression(self, expr: Expr, name: str = "circuit") -> CompilationReport:
+    def compile_expression(
+        self, expr: Expr, name: str = "circuit", *, verify: bool = False
+    ) -> CompilationReport:
         """Compile ``expr`` and return the same report type as the Compiler."""
-        return self.pipeline.compile(expr, name=name)
+        return self.pipeline.compile(expr, name=name, verify=verify)
 
     # -- core algorithm -------------------------------------------------------------------
     def _vectorize(

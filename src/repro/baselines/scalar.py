@@ -31,8 +31,10 @@ class ScalarCompiler:
     def pipeline(self) -> PassPipeline:
         return self._compiler.pipeline
 
-    def compile_expression(self, expr: Expr, name: str = "circuit") -> CompilationReport:
-        return self._compiler.compile_expression(expr, name=name)
+    def compile_expression(
+        self, expr: Expr, name: str = "circuit", *, verify: bool = False
+    ) -> CompilationReport:
+        return self._compiler.compile_expression(expr, name=name, verify=verify)
 
 
 @register_compiler(

@@ -143,15 +143,22 @@ class StageTrace:
     #: expression; circuit compute-operation count once lowered.
     cost_before: float
     cost_after: float
+    #: Structural-validation findings recorded after this stage (only
+    #: populated by ``compile(verify=True)``; empty means checked-and-clean
+    #: or not checked — consult the report's ``analysis`` for which).
+    findings: tuple = ()
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "kind": self.kind,
             "wall_time_s": self.wall_time_s,
             "cost_before": self.cost_before,
             "cost_after": self.cost_after,
         }
+        if self.findings:
+            payload["findings"] = [f.as_dict() for f in self.findings]
+        return payload
 
 
 @dataclass
@@ -159,6 +166,9 @@ class PipelineTrace:
     """Per-stage record of one pipeline run."""
 
     stages: List[StageTrace] = field(default_factory=list)
+    #: Merged structural-validation report across all stages; None unless
+    #: the pipeline ran with ``verify=True``.
+    analysis: Optional[object] = None
 
     @property
     def total_time_s(self) -> float:
@@ -175,10 +185,13 @@ class PipelineTrace:
         raise KeyError(f"no stage named {name!r} in this trace")
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "total_time_s": self.total_time_s,
             "stages": [stage.as_dict() for stage in self.stages],
         }
+        if self.analysis is not None:
+            payload["analysis"] = self.analysis.as_dict()
+        return payload
 
 
 class PassPipeline:
@@ -209,15 +222,34 @@ class PassPipeline:
             return float(state.circuit.stats().total_operations)
         return float(self.cost_model.cost(state.expr))
 
-    def run(self, state: PipelineState) -> PipelineTrace:
-        """Execute every stage in order; returns the per-stage trace."""
-        trace = PipelineTrace()
+    def run(self, state: PipelineState, *, verify: bool = False) -> PipelineTrace:
+        """Execute every stage in order; returns the per-stage trace.
+
+        With ``verify=True`` the structural validators of
+        :mod:`repro.analysis.pipeline_check` run after every stage; each
+        stage's findings land on its :class:`StageTrace` (naming the stage
+        that broke an invariant) and the merged report on the trace.
+        """
+        analysis = None
+        validate = None
+        if verify:
+            from repro.analysis import AnalysisReport
+            from repro.analysis.pipeline_check import validate_state
+
+            analysis = AnalysisReport()
+            validate = validate_state
+        trace = PipelineTrace(analysis=analysis)
         snapshot = self._snapshot(state)
         for stage in self.stages:
             start = time.perf_counter()
             stage.run(state)
             after = self._snapshot(state)
             elapsed = time.perf_counter() - start
+            findings: tuple = ()
+            if validate is not None:
+                stage_report = validate(state, stage_name=stage.name)
+                findings = tuple(stage_report.findings)
+                analysis.merge(stage_report)
             trace.stages.append(
                 StageTrace(
                     name=stage.name,
@@ -225,16 +257,24 @@ class PassPipeline:
                     wall_time_s=elapsed,
                     cost_before=snapshot,
                     cost_after=after,
+                    findings=findings,
                 )
             )
             snapshot = after
         return trace
 
-    def compile(self, expr: Expr, name: str = "circuit") -> "CompilationReport":
-        """Run the pipeline on ``expr`` and assemble the report."""
+    def compile(
+        self, expr: Expr, name: str = "circuit", *, verify: bool = False
+    ) -> "CompilationReport":
+        """Run the pipeline on ``expr`` and assemble the report.
+
+        ``verify=True`` additionally validates the expression/circuit after
+        every stage and attaches the merged findings to the report's
+        ``analysis``.
+        """
         start = time.perf_counter()
         state = PipelineState(name=name, source_expr=expr, expr=expr)
-        trace = self.run(state)
+        trace = self.run(state, verify=verify)
         if state.circuit is None:
             raise ValueError(
                 f"pipeline {self.stage_names} produced no circuit for {name!r}"
@@ -252,6 +292,7 @@ class PassPipeline:
             final_cost=state.final_cost,
             rotation_key_plan=state.rotation_key_plan,
             trace=trace,
+            analysis=trace.analysis,
         )
 
 
@@ -271,6 +312,9 @@ class CompilationReport:
     rotation_key_plan: Optional[RotationKeyPlan] = None
     #: Per-stage timing/cost trace of the pipeline that produced the report.
     trace: Optional[PipelineTrace] = None
+    #: Merged static-analysis report of the per-stage validators; None
+    #: unless compiled with ``verify=True``.
+    analysis: Optional[object] = None
 
     @property
     def cost_improvement(self) -> float:
@@ -278,6 +322,34 @@ class CompilationReport:
         if self.initial_cost <= 0:
             return 0.0
         return max(0.0, (self.initial_cost - self.final_cost) / self.initial_cost)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Machine-readable summary (the CLI/telemetry surface).
+
+        The ``findings`` block is always present: ``checked`` says whether
+        the per-stage validators ran, so "no findings" is distinguishable
+        from "never looked".
+        """
+        checked = self.analysis is not None
+        return {
+            "name": self.name,
+            "compile_time_s": self.compile_time_s,
+            "initial_cost": self.initial_cost,
+            "final_cost": self.final_cost,
+            "cost_improvement": self.cost_improvement,
+            "stats": self.stats.as_dict(),
+            "trace": self.trace.as_dict() if self.trace is not None else None,
+            "findings": {
+                "checked": checked,
+                "ok": self.analysis.ok if checked else None,
+                "counts": self.analysis.counts() if checked else None,
+                "items": (
+                    [f.as_dict() for f in self.analysis.findings]
+                    if checked
+                    else []
+                ),
+            },
+        }
 
     def seal_code(self) -> str:
         """SEAL-style C++ for the compiled circuit."""

@@ -189,6 +189,8 @@ class Compiler:
         """Compile a staged DSL program."""
         return self.compile_expression(program.output_expr, name=program.name)
 
-    def compile_expression(self, expr: Expr, name: str = "circuit") -> CompilationReport:
+    def compile_expression(
+        self, expr: Expr, name: str = "circuit", *, verify: bool = False
+    ) -> CompilationReport:
         """Compile a single IR expression."""
-        return self.pipeline.compile(expr, name=name)
+        return self.pipeline.compile(expr, name=name, verify=verify)

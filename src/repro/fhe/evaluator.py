@@ -278,15 +278,25 @@ class Evaluator:
     ) -> Ciphertext:
         """Cyclic left rotation of the slot vector by ``step``.
 
-        Negative steps rotate right.  Raises
-        :class:`~repro.core.exceptions.RotationKeyMissing` when no Galois key
-        was generated for ``step``.
+        Negative steps rotate right.  Steps are normalized modulo the slot
+        count first: rotation by any multiple of ``n`` is the identity (a
+        budget-preserving copy, no key needed), and congruent steps are the
+        same Galois automorphism — a key generated for ``step - n`` or
+        ``step mod n`` applies equally.  Raises
+        :class:`~repro.core.exceptions.RotationKeyMissing` when no congruent
+        Galois key was generated.
         """
         if galois_keys is None:
             galois_keys = self._context.galois_keys
-        if step == 0:
+        n = operand.slots.shape[0]
+        effective = step % n
+        if effective == 0:
             return operand.copy()
-        if not galois_keys.supports(step):
+        if not (
+            galois_keys.supports(step)
+            or galois_keys.supports(effective)
+            or galois_keys.supports(effective - n)
+        ):
             raise RotationKeyMissing(step)
         budget = operand.noise_budget - self._noise.rotate_cost(step)
         rotated = np.roll(operand.slots, -step)

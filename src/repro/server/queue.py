@@ -88,12 +88,12 @@ class JobQueue:
         self.capacity = capacity
         self.per_priority_capacity = per_priority_capacity
         self.aging_interval_s = aging_interval_s
-        self._entries: List[Tuple[int, Job]] = []
+        self._entries: List[Tuple[int, Job]] = []  # guarded-by: _lock
         self._sequence = itertools.count()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
-        self._count_by_priority: Dict[int, int] = {}
-        self._cost_by_priority: Dict[int, float] = {}
+        self._count_by_priority: Dict[int, int] = {}  # guarded-by: _lock
+        self._cost_by_priority: Dict[int, float] = {}  # guarded-by: _lock
 
     # -- priority & ordering -------------------------------------------------
     def effective_priority(self, job: Job, now: Optional[float] = None) -> int:
@@ -110,7 +110,7 @@ class JobQueue:
         return (-self.effective_priority(job, now), sequence)
 
     # -- bookkeeping (all under self._lock) ----------------------------------
-    def _account_add(self, job: Job) -> None:
+    def _account_add(self, job: Job) -> None:  # holds: _lock
         self._count_by_priority[job.priority] = (
             self._count_by_priority.get(job.priority, 0) + 1
         )
@@ -118,7 +118,7 @@ class JobQueue:
             job.priority, 0.0
         ) + float(getattr(job, ESTIMATE_ATTR, 0.0))
 
-    def _account_remove(self, job: Job) -> None:
+    def _account_remove(self, job: Job) -> None:  # holds: _lock
         remaining = self._count_by_priority.get(job.priority, 0) - 1
         if remaining > 0:
             self._count_by_priority[job.priority] = remaining

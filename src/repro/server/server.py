@@ -225,7 +225,7 @@ class JobServer:
         #: yet.  None until the first tick has measured anything.
         self._service_s_ewma: Optional[float] = None
         #: (circuit memo key, backend) -> (service estimate s, monotonic stamp).
-        self._estimate_cache: Dict[Tuple[object, str], Tuple[float, float]] = {}
+        self._estimate_cache: Dict[Tuple[object, str], Tuple[float, float]] = {}  # guarded-by: _lock
         self._store_skips_seen = 0
         self.default_backend = backend or default_backend_name()
         self.default_compiler = compiler
@@ -234,16 +234,16 @@ class JobServer:
         self.params = params if params is not None else BFVParameters.default()
         self.poll_interval = poll_interval
         self.cache = cache if cache is not None else CompilationCache(directory=cache_dir)
-        self._jobs: Dict[str, Job] = {}
+        self._jobs: Dict[str, Job] = {}  # guarded-by: _lock
         self._lock = threading.RLock()
         self._job_done = threading.Condition(self._lock)
         #: (compiler key, source) -> (circuit, expr, input names).  The hot
         #: serving path: N queued users of one kernel must not pay N parses
         #: and N cache-key hashes before coalescing even starts.
-        self._circuit_memo: "OrderedDict[Tuple[str, Tuple[Tuple[str, object], ...], str], Tuple[object, Expr, List[str]]]" = OrderedDict()
+        self._circuit_memo: "OrderedDict[Tuple[str, Tuple[Tuple[str, object], ...], str], Tuple[object, Expr, List[str]]]" = OrderedDict()  # guarded-by: _lock
         self._circuit_memo_cap = 4096
         self._compile_services: Dict[Tuple[str, Tuple[Tuple[str, object], ...]], CompilationService] = {}
-        self._execution_services: Dict[str, ExecutionService] = {}
+        self._execution_services: Dict[str, ExecutionService] = {}  # guarded-by: _lock
         self._thread: Optional[threading.Thread] = None
         self._stop_event = threading.Event()
         #: Last-seen snapshot of the process-wide compiled-tape memo counters
@@ -412,11 +412,11 @@ class JobServer:
                 job.source,
             )
             cache_key = (memo_key, backend)
-            cached = self._estimate_cache.get(cache_key)
+            with self._lock:
+                cached = self._estimate_cache.get(cache_key)
+                hit = self._circuit_memo.get(memo_key)
             if cached is not None and time.monotonic() - cached[1] < ESTIMATE_TTL_S:
                 return cached[0]
-            with self._lock:
-                hit = self._circuit_memo.get(memo_key)
             if hit is not None:
                 program = hit[0]
         if program is not None:
@@ -428,7 +428,8 @@ class JobServer:
             else:
                 estimate = estimate_ms / 1000.0
                 if cache_key is not None:
-                    self._estimate_cache[cache_key] = (estimate, time.monotonic())
+                    with self._lock:
+                        self._estimate_cache[cache_key] = (estimate, time.monotonic())
                 return estimate
         return self._service_s_ewma or 0.0
 
@@ -715,14 +716,22 @@ class JobServer:
         process-wide and shared with direct-path callers, so the server
         tracks the last snapshot it saw and records only the delta —
         ``tape_cache_hits`` / ``tape_compiles`` then count this server's
-        observation window, not the whole process history.
+        observation window, not the whole process history.  The static-
+        analysis counters (``tapes_verified`` / ``analysis_findings``) are
+        touched every tick so they appear in snapshots even at zero: an
+        absent findings counter is indistinguishable from "never checked".
         """
         from repro.backends.tapeopt import tape_cache_stats
 
         stats = tape_cache_stats()
-        for counter, key in (("tape_cache_hits", "hits"), ("tape_compiles", "compiles")):
+        for counter, key, always in (
+            ("tape_cache_hits", "hits", False),
+            ("tape_compiles", "compiles", False),
+            ("tapes_verified", "verified", True),
+            ("analysis_findings", "findings", True),
+        ):
             delta = stats[key] - self._tape_stats_seen.get(key, 0)
-            if delta > 0:
+            if delta > 0 or always:
                 self.telemetry.counter(counter).inc(delta)
             self._tape_stats_seen[key] = stats[key]
 
@@ -803,17 +812,20 @@ class JobServer:
 
     # -- execution ----------------------------------------------------------
     def _execution_service(self, backend_name: str) -> ExecutionService:
-        service = self._execution_services.get(backend_name)
-        if service is None:
-            service = ExecutionService(
-                backend_name,
-                params=self.params,
-                workers=self.workers,
-                prefer_measured=self.prefer_measured,
-                tracer=self.tracer,
-            )
-            self._execution_services[backend_name] = service
-        return service
+        # Called from the server thread and from client submit threads (via
+        # admission estimates), so the get-or-create must be atomic.
+        with self._lock:
+            service = self._execution_services.get(backend_name)
+            if service is None:
+                service = ExecutionService(
+                    backend_name,
+                    params=self.params,
+                    workers=self.workers,
+                    prefer_measured=self.prefer_measured,
+                    tracer=self.tracer,
+                )
+                self._execution_services[backend_name] = service
+            return service
 
     def _job_inputs(self, job: Job, input_names: Sequence[str]) -> List[Dict[str, int]]:
         if job.inputs is not None:
@@ -914,7 +926,8 @@ class JobServer:
         expr: Optional[Expr],
         estimate_source: str,
     ) -> Dict[str, object]:
-        backend = self._execution_services[group.backend_key].backend
+        with self._lock:
+            backend = self._execution_services[group.backend_key].backend
         verified = backend_produces_outputs(backend) and expr is not None
         inputs = group.inputs_per_job[job_index]
         outputs = [

@@ -448,13 +448,13 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        self._counters: Dict[str, Counter] = {}  # guarded-by: _lock
+        self._gauges: Dict[str, Gauge] = {}  # guarded-by: _lock
+        self._histograms: Dict[str, Histogram] = {}  # guarded-by: _lock
         #: Count of snapshots written so far; stamped into every snapshot's
         #: ``meta`` block so consumers (``repro top``, ``repro metrics
         #: --watch/--delta``) can order snapshots and compute rates.
-        self._sequence = 0
+        self._sequence = 0  # guarded-by: _lock
 
     def counter(self, name: str) -> Counter:
         with self._lock:

@@ -168,11 +168,11 @@ class ExecutionService:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._latency_model = LatencyModel(self.params)
         #: Measured per-input-set wall seconds, EWMA per circuit, bounded LRU.
-        self._measured: "OrderedDict[str, float]" = OrderedDict()
+        self._measured: "OrderedDict[str, float]" = OrderedDict()  # guarded-by: _measured_lock
         self._measured_lock = threading.Lock()
         #: EWMA of the measured/model ratio, updated on first measurements
         #: only; None until the first circuit has been timed.
-        self._calibration: Optional[float] = None
+        self._calibration: Optional[float] = None  # guarded-by: _measured_lock
 
     # -- cache keys ---------------------------------------------------------
     def job_key(self, program: CircuitProgram) -> str:
@@ -219,8 +219,8 @@ class ExecutionService:
             if measured is not None:
                 self._measured.move_to_end(key)  # LRU touch
                 return measured * 1000.0, "measured"
+            calibration = self._calibration
         model_ms = self.static_cost_ms(program)
-        calibration = self._calibration
         if calibration is not None:
             return model_ms * calibration, "model"
         return model_ms, "model"
@@ -263,7 +263,8 @@ class ExecutionService:
     @property
     def measured_circuits(self) -> int:
         """How many distinct circuits have recorded timers."""
-        return len(self._measured)
+        with self._measured_lock:
+            return len(self._measured)
 
     # -- execution ----------------------------------------------------------
     def execute(

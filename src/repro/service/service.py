@@ -210,13 +210,20 @@ class CompilationService:
         return cache_key(expr, self._fingerprint)
 
     # -- single-job interface (drop-in compiler) ---------------------------
-    def compile_expression(self, expr: Expr, name: str = "circuit") -> CompilationReport:
-        """Compile one expression through the cache (serial)."""
+    def compile_expression(
+        self, expr: Expr, name: str = "circuit", *, verify: bool = False
+    ) -> CompilationReport:
+        """Compile one expression through the cache (serial).
+
+        ``verify=True`` guarantees the returned report carries a per-stage
+        analysis: cache entries compiled without verification are
+        recompiled (and replaced) rather than returned unchecked.
+        """
         key = self.job_key(expr)
         cached = self.cache.get(key)
-        if cached is not None:
+        if cached is not None and not (verify and cached.analysis is None):
             return _rename_report(cached, name)
-        report = self.compiler.compile_expression(expr, name=name)
+        report = self.compiler.compile_expression(expr, name=name, verify=verify)
         self.cache.put(key, report, stable=self._stable)
         return report
 

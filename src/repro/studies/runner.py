@@ -228,7 +228,7 @@ class StudyRunner:
                 "wall_time_s": wall_time_s,
                 "jobs": len(job_ids),
                 "metrics": metrics,
-                "finished_at": time.time(),
+                "finished_at": time.time(),  # lint: allow(wall-clock) — run metadata, never seeds anything
             }
         )
         return record

@@ -1,0 +1,93 @@
+"""Pipeline structural validators: clean on real compilers, loud on damage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.analysis import AnalysisReport, Severity
+from repro.analysis.pipeline_check import check_circuit, check_expression
+from repro.ir.nodes import Expr, Rotate
+from repro.ir.parser import parse
+
+
+class _Frob(Expr):
+    """A node whose operator no pass should ever emit."""
+
+    op = "frobnicate"
+    __slots__ = ()
+
+
+class _LooseAdd(Expr):
+    """An ``+`` node built with the wrong child count."""
+
+    op = "+"
+    __slots__ = ()
+
+
+SCALAR_KERNELS = [
+    "(+ (* a b) (* c d))",
+    "(- (- a) (+ b 3))",
+]
+VECTOR_KERNELS = [
+    "(<< (VecMul (Vec a b c) (Vec d e f)) 1)",
+]
+
+
+@pytest.mark.parametrize("source", SCALAR_KERNELS + VECTOR_KERNELS)
+def test_greedy_compilations_verify_clean(source) -> None:
+    report = api.compile(source, "greedy", verify=True)
+    assert report.analysis is not None
+    assert report.analysis.ok
+    assert not report.analysis.findings
+    # every stage of the trace carried an (empty) findings tuple
+    assert all(stage.findings == () for stage in report.trace.stages)
+
+
+@pytest.mark.parametrize("source", SCALAR_KERNELS)
+def test_coyote_compilations_verify_clean(source) -> None:
+    report = api.compile(source, "coyote", verify=True)
+    assert report.analysis is not None
+    assert report.analysis.ok
+
+
+def test_expression_unknown_op_detected() -> None:
+    bad = _Frob((parse("a"), parse("b")))
+    report = check_expression(bad)
+    assert not report.ok
+    assert any(f.rule == "unknown-op" for f in report.findings)
+
+
+def test_expression_arity_detected() -> None:
+    report = check_expression(_LooseAdd((parse("a"),)))
+    assert any(f.rule == "arity" for f in report.findings)
+
+
+def test_expression_rotation_step_range() -> None:
+    report = check_expression(Rotate(parse("a"), 1 << 40))
+    assert any(f.rule == "rotation-step-range" for f in report.findings)
+
+
+def test_malformed_circuit_detected() -> None:
+    program = api.compile("(+ (* a b) c)", "greedy", name="probe").circuit
+    assert check_circuit(program).ok
+    # damage it: dangle an output and reorder an operand past its def
+    program.mark_output(len(program.instructions) + 5, "dangling", 1)
+    last = program.instructions[-1]
+    last.operands = (last.result + 7,) + tuple(last.operands[1:])
+    report = check_circuit(program)
+    assert not report.ok
+    rules = {f.rule for f in report.findings}
+    assert "orphan-output" in rules
+    assert "use-before-def" in rules
+
+
+def test_report_severity_machinery() -> None:
+    report = AnalysisReport()
+    report.add("probe", "r1", Severity.WARNING, "w")
+    assert report.ok and report.warnings == 1
+    report.add("probe", "r2", Severity.ERROR, "e", location="here")
+    assert not report.ok
+    assert report.counts() == {"error": 1, "warning": 1, "info": 0}
+    rendered = report.by_severity(Severity.ERROR)[0].render()
+    assert "here" in rendered and "probe/r2" in rendered

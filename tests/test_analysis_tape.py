@@ -1,0 +1,93 @@
+"""Tape-verifier sweep: every workload × compiler × opt level is clean.
+
+The acceptance gate of the static-analysis stack: the full workload
+registry, compiled under both real compilers and analyzed at every vector-VM
+opt level, must produce zero findings — pipeline invariants after every
+pass, arena safety, output coverage, reduction-schedule soundness and
+symbolic circuit equivalence all hold on everything the repo actually ships.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.analysis.tape_check import verify_tape
+from repro.backends.tapeopt import compile_tape
+from repro.fhe.params import BFVParameters
+from repro.workloads import available_workloads, build_workload
+
+PARAMS = BFVParameters.default(1024)
+COMPILERS = ("greedy", "coyote")
+WORKLOADS = tuple(sorted(available_workloads()))
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    """One verified compilation + tape per (workload, compiler)."""
+    artifacts = {}
+    for workload_name in WORKLOADS:
+        workload = build_workload(workload_name)
+        for compiler in COMPILERS:
+            report = api.compile(
+                workload.source, compiler, name=workload.name, verify=True
+            )
+            tape = compile_tape(report.circuit, PARAMS)
+            artifacts[(workload_name, compiler)] = (report, tape)
+    return artifacts
+
+
+@pytest.mark.parametrize("compiler", COMPILERS)
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+def test_pipeline_validators_clean(compiled, workload_name, compiler) -> None:
+    """Opt level 0: the per-stage pipeline validators alone (no tape runs)."""
+    report, _ = compiled[(workload_name, compiler)]
+    assert report.analysis is not None
+    assert report.analysis.ok, [
+        f.render() for f in report.analysis.findings[:5]
+    ]
+    assert not report.analysis.findings
+
+
+@pytest.mark.parametrize("compiler", COMPILERS)
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+def test_tape_verifier_clean(compiled, workload_name, compiler) -> None:
+    """Opt levels 1/2 share one tape; the verifier covers all its plans."""
+    report, tape = compiled[(workload_name, compiler)]
+    analysis = verify_tape(report.circuit, tape, location=workload_name)
+    assert analysis.ok, [f.render() for f in analysis.findings[:5]]
+    assert not analysis.findings
+
+
+@pytest.mark.parametrize("opt_level", [0, 1, 2])
+def test_analyze_facade_all_opt_levels(opt_level) -> None:
+    workload = build_workload("dot-product")
+    _, analysis = api.analyze(
+        workload.source, "greedy", name=workload.name, opt_level=opt_level
+    )
+    assert analysis.ok
+    assert not analysis.findings
+    checkers = set(analysis.checkers_run)
+    assert {"pipeline-expr", "pipeline-circuit"} <= checkers
+    if opt_level >= 1:
+        assert {"tape-arena", "tape-bounds", "tape-outputs", "tape-equivalence"} <= checkers
+    else:
+        assert "tape-arena" not in checkers
+
+
+def test_verified_execution_through_backend() -> None:
+    """VectorVMBackend(verify=True) runs the verifier on fresh tapes and
+    still executes correctly."""
+    from repro.backends.tapeopt import reset_tape_cache, tape_cache_stats
+    from repro.backends.vector_vm import VectorVMBackend
+
+    reset_tape_cache()
+    report = api.compile("(+ (* a b) (<< c 2))", "greedy", name="verified-exec")
+    backend = VectorVMBackend(verify=True)
+    execution = backend.execute(
+        report.circuit, {"a": 2, "b": 3, "c": 4}, params=PARAMS
+    )
+    assert execution.outputs
+    stats = tape_cache_stats()
+    assert stats["verified"] >= 1
+    assert stats["findings"] == 0
